@@ -1,0 +1,85 @@
+"""Ablation — object packing on/off (Section IV-A baseline vs IV-B packed).
+
+Quantifies what the packing scheme buys on each microbenchmark: the
+baseline format stores 8 B reference offsets and an 8 B layout-bitmap
+length per object; packing keeps significant bits plus end bits/maps.
+"""
+
+from repro.analysis import ReportTable
+from repro.formats import ClassRegistration, CerealSerializer
+from repro.jvm import Heap
+from repro.workloads import MICROBENCH_CONFIGS, build_microbench
+from repro.workloads.micro import register_micro_klasses
+
+
+def _sizes(workload):
+    """Serialize with both real formats; return (values, baseline, packed)
+    where baseline/packed are the metadata (references + bitmaps) bytes of
+    the Section IV-A and IV-B encodings respectively."""
+    heap = Heap()
+    register_micro_klasses(heap.registry)
+    root = build_microbench(heap, workload)
+    registration = ClassRegistration()
+    for klass in heap.registry:
+        registration.register(klass)
+    packed_stream = CerealSerializer(registration).serialize(root).stream
+    baseline_stream = (
+        CerealSerializer(registration, use_packing=False).serialize(root).stream
+    )
+    packed = (
+        packed_stream.sections["reference_array"]
+        + packed_stream.sections["reference_end_map"]
+        + packed_stream.sections["layout_bitmap"]
+        + packed_stream.sections["bitmap_end_map"]
+    )
+    baseline = (
+        baseline_stream.sections["reference_array"]
+        + baseline_stream.sections["layout_bitmap"]
+    )
+    values = packed_stream.sections["value_array"]
+    return values, baseline, packed
+
+
+def test_ablation_packing_metadata_savings(benchmark, results_dir):
+    def build():
+        table = ReportTable(
+            "Ablation: packed vs baseline metadata (refs + bitmaps)",
+            ["Workload", "Values (KiB)", "Baseline meta", "Packed meta", "Saving"],
+        )
+        savings = {}
+        for workload in MICROBENCH_CONFIGS:
+            values, baseline, packed = _sizes(workload)
+            saving = 1.0 - packed / baseline
+            savings[workload] = saving
+            table.add_row(
+                workload,
+                f"{values / 1024:.1f}",
+                f"{baseline / 1024:.1f} KiB",
+                f"{packed / 1024:.1f} KiB",
+                f"{saving * 100:.1f}%",
+            )
+        table.show()
+        table.save(results_dir, "ablation_packing")
+        return savings
+
+    savings = benchmark.pedantic(build, rounds=1, iterations=1)
+    # Packing always shrinks the metadata, everywhere.
+    assert all(saving > 0.3 for saving in savings.values())
+    # And pays off most where references dominate.
+    assert savings["graph-dense"] >= savings["list-small"] - 0.15
+
+
+def test_ablation_packing_whole_stream_effect(benchmark, results_dir):
+    """Per-stream effect: metadata savings matter less on value-heavy shapes."""
+
+    def effect(workload):
+        values, baseline, packed = _sizes(workload)
+        whole_baseline = values + baseline
+        whole_packed = values + packed
+        return 1.0 - whole_packed / whole_baseline
+
+    def build():
+        return effect("graph-dense"), effect("list-large")
+
+    dense, list_large = benchmark(build)
+    assert dense > list_large

@@ -1,0 +1,60 @@
+"""Figure 13 — S/D speedups on the six Spark applications.
+
+Paper: Kryo achieves only 1.67x over Java S/D; Cereal achieves 7.97x over
+Java S/D and 4.81x over Kryo.
+"""
+
+from repro.analysis import ReportTable, geomean
+
+
+def _sd_times(spark_results, backend):
+    return {
+        app: result.breakdown.sd_ns
+        for app, result in spark_results.results[backend].items()
+    }
+
+
+def test_fig13_sd_speedups(benchmark, spark_results, results_dir):
+    def build():
+        java = _sd_times(spark_results, "java-builtin")
+        kryo = _sd_times(spark_results, "kryo")
+        cereal = _sd_times(spark_results, "cereal")
+        table = ReportTable(
+            "Figure 13: Spark S/D speedup",
+            ["App", "Kryo / Java", "Cereal / Java", "Cereal / Kryo"],
+        )
+        ratios = {"jk": [], "jc": [], "kc": []}
+        for app in java:
+            jk = java[app] / kryo[app]
+            jc = java[app] / cereal[app]
+            kc = kryo[app] / cereal[app]
+            ratios["jk"].append(jk)
+            ratios["jc"].append(jc)
+            ratios["kc"].append(kc)
+            table.add_row(app, f"{jk:.2f}x", f"{jc:.2f}x", f"{kc:.2f}x")
+        table.add_row(
+            "GEOMEAN",
+            f"{geomean(ratios['jk']):.2f}x",
+            f"{geomean(ratios['jc']):.2f}x",
+            f"{geomean(ratios['kc']):.2f}x",
+        )
+        table.add_note("paper: Kryo 1.67x, Cereal 7.97x / 4.81x")
+        table.show()
+        table.save(results_dir, "fig13_spark_sd_speedup")
+        return {key: geomean(values) for key, values in ratios.items()}
+
+    means = benchmark.pedantic(build, rounds=1, iterations=1)
+    # Kryo's gain inside Spark is modest (paper: 1.67x).
+    assert 1.2 < means["jk"] < 3.5
+    # Cereal's S/D speedups (paper: 7.97x over Java, 4.81x over Kryo).
+    assert 5 < means["jc"] < 16
+    assert 2.5 < means["kc"] < 8
+
+
+def test_fig13_cereal_wins_every_app(benchmark, spark_results, results_dir):
+    def worst():
+        java = _sd_times(spark_results, "java-builtin")
+        cereal = _sd_times(spark_results, "cereal")
+        return min(java[app] / cereal[app] for app in java)
+
+    assert benchmark(worst) > 2.0

@@ -1,0 +1,50 @@
+"""Figure 14 — Whole-program speedups on the six Spark applications.
+
+Paper: accelerating S/D improves end-to-end application performance by
+1.81x over Java S/D (up to 4.66x) and 1.69x over Kryo (up to 4.53x).
+"""
+
+from repro.analysis import ReportTable, geomean
+
+
+def test_fig14_program_speedups(benchmark, spark_results, results_dir):
+    def build():
+        java = spark_results.results["java-builtin"]
+        kryo = spark_results.results["kryo"]
+        cereal = spark_results.results["cereal"]
+        table = ReportTable(
+            "Figure 14: Spark whole-program speedup",
+            ["App", "Cereal vs Java", "Cereal vs Kryo"],
+        )
+        vs_java, vs_kryo = [], []
+        for app in java:
+            j = java[app].total_ns / cereal[app].total_ns
+            k = kryo[app].total_ns / cereal[app].total_ns
+            vs_java.append(j)
+            vs_kryo.append(k)
+            table.add_row(app, f"{j:.2f}x", f"{k:.2f}x")
+        table.add_row(
+            "GEOMEAN", f"{geomean(vs_java):.2f}x", f"{geomean(vs_kryo):.2f}x"
+        )
+        table.add_note("paper: 1.81x (up to 4.66x) and 1.69x (up to 4.53x)")
+        table.show()
+        table.save(results_dir, "fig14_program_speedup")
+        return vs_java, vs_kryo
+
+    vs_java, vs_kryo = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert 1.3 < geomean(vs_java) < 2.6  # paper: 1.81x
+    assert 1.1 < geomean(vs_kryo) < 2.3  # paper: 1.69x
+    assert max(vs_java) > 3.0  # SVM's big win (paper: up to 4.66x)
+    assert all(v >= 1.0 for v in vs_java)  # never a slowdown
+
+
+def test_fig14_svm_benefits_most(benchmark, spark_results, results_dir):
+    def best_app():
+        java = spark_results.results["java-builtin"]
+        cereal = spark_results.results["cereal"]
+        speedups = {
+            app: java[app].total_ns / cereal[app].total_ns for app in java
+        }
+        return max(speedups, key=speedups.get)
+
+    assert benchmark(best_app) == "svm"

@@ -1,0 +1,49 @@
+"""Table I — Architectural parameters for evaluation.
+
+Regenerates the configuration table from the library's config dataclasses
+and checks the headline values against the paper.
+"""
+
+from repro.analysis import ReportTable
+from repro.common.config import SystemConfig
+from repro.common.units import GB
+
+
+def test_table01_architectural_parameters(benchmark, results_dir):
+    system = benchmark(SystemConfig)
+
+    host, dram, cereal = system.host, system.dram, system.cereal
+    table = ReportTable(
+        "Table I: Architectural parameters", ["Component", "Parameter", "Value"]
+    )
+    table.add_row("Host core", "Model", host.name)
+    table.add_row("Host core", "Cores @ clock", f"{host.cores} @ {host.clock_ghz} GHz")
+    table.add_row("Host L1", "Size", f"{host.l1.size_bytes // 1024} KB")
+    table.add_row("Host L2", "Size", f"{host.l2.size_bytes // (1024 * 1024)} MB")
+    table.add_row("Host L3", "Size", f"{host.l3.size_bytes // (1024 * 1024)} MB")
+    table.add_row("DRAM", "Organization", f"{dram.standard}, {dram.channels} channels")
+    table.add_row(
+        "DRAM", "Bandwidth", f"{dram.peak_bandwidth_bytes_per_sec / GB:.1f} GB/s"
+    )
+    table.add_row("DRAM", "Zero-load latency", f"{dram.zero_load_latency_ns:.0f} ns")
+    table.add_row(
+        "Cereal",
+        "Units",
+        f"{cereal.num_serializer_units} SU, {cereal.num_deserializer_units} DU",
+    )
+    table.add_row(
+        "Cereal",
+        "MAI",
+        f"{cereal.mai_entries} entries, {cereal.mai_block_bytes} B blocks",
+    )
+    table.add_row("Cereal", "TLB", f"{cereal.tlb_entries} entries")
+    table.show()
+    table.save(results_dir, "table01_config")
+
+    # Headline Table I values.
+    assert dram.peak_bandwidth_bytes_per_sec == 76.8 * GB
+    assert dram.zero_load_latency_ns == 40.0
+    assert cereal.num_serializer_units == 8
+    assert cereal.num_deserializer_units == 8
+    assert cereal.mai_entries == 64
+    assert cereal.tlb_entries == 128

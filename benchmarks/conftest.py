@@ -1,0 +1,265 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive simulations (microbenchmark suite, JSBS, the six Spark
+applications on three backends) are computed once per pytest session and
+shared by every figure/table benchmark. Each bench prints its reproduced
+table and persists it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import pytest
+
+from repro.cereal import CerealAccelerator
+from repro.cereal.accelerator import OperationTiming
+from repro.common.config import CerealConfig, HostCPUConfig, SystemConfig
+from repro.cpu import SoftwarePlatform
+from repro.cpu.core import CPUTimingResult
+from repro.formats import (
+    ClassRegistration,
+    JavaSerializer,
+    KryoSerializer,
+    SkywaySerializer,
+)
+from repro.jvm import Heap
+from repro.spark.apps import SPARK_APPS
+from repro.spark.backend import CerealBackend, SoftwareBackend
+from repro.workloads import MICROBENCH_CONFIGS, build_media_content, build_microbench
+from repro.workloads.micro import register_micro_klasses
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+SOFTWARE_SERIALIZERS = ("java-builtin", "kryo", "skyway")
+
+
+def _make_software(name: str, registry) -> object:
+    registration = ClassRegistration()
+    for klass in registry:
+        registration.register(klass)
+    if name == "java-builtin":
+        return JavaSerializer()
+    if name == "kryo":
+        return KryoSerializer(registration)
+    if name == "skyway":
+        return SkywaySerializer(registration)
+    raise ValueError(name)
+
+
+@dataclass
+class MicroMeasurement:
+    """One (workload, serializer) measurement pair."""
+
+    serialize_time_ns: float
+    deserialize_time_ns: float
+    serialize_bandwidth: float  # single-lane utilization fraction
+    deserialize_bandwidth: float
+    stream_bytes: int
+    graph_bytes: int
+    objects: int
+    serialize_ipc: float = 0.0
+    deserialize_ipc: float = 0.0
+    llc_miss_rate: float = 0.0
+    # Device-level utilization with all 8 units busy (Cereal rows only).
+    serialize_bandwidth_8u: float = 0.0
+    deserialize_bandwidth_8u: float = 0.0
+
+
+@dataclass
+class MicroSuiteResults:
+    """All measurements: results[workload][serializer] -> MicroMeasurement."""
+
+    results: Dict[str, Dict[str, MicroMeasurement]] = field(default_factory=dict)
+
+    def speedup_over_java(self, workload: str, serializer: str, op: str) -> float:
+        java = self.results[workload]["java-builtin"]
+        other = self.results[workload][serializer]
+        if op == "serialize":
+            return java.serialize_time_ns / other.serialize_time_ns
+        return java.deserialize_time_ns / other.deserialize_time_ns
+
+
+def _measure_software(name: str, workload: str) -> MicroMeasurement:
+    config = MICROBENCH_CONFIGS[workload]
+    host = HostCPUConfig().scaled_caches(max(1, config.scale))
+    platform = SoftwarePlatform(SystemConfig(host=host))
+    heap = Heap(registry=None)
+    register_micro_klasses(heap.registry)
+    receiver = Heap(registry=heap.registry)
+    root = build_microbench(heap, workload)
+    serializer = _make_software(name, heap.registry)
+    result, ser_run = platform.run_serialize(serializer, root)
+    _, de_run = platform.run_deserialize(serializer, result.stream, receiver)
+    return MicroMeasurement(
+        serialize_time_ns=ser_run.timing.time_ns,
+        deserialize_time_ns=de_run.timing.time_ns,
+        serialize_bandwidth=ser_run.timing.bandwidth_utilization,
+        deserialize_bandwidth=de_run.timing.bandwidth_utilization,
+        stream_bytes=result.stream.size_bytes,
+        graph_bytes=result.stream.graph_bytes,
+        objects=result.stream.object_count,
+        serialize_ipc=ser_run.timing.ipc,
+        deserialize_ipc=de_run.timing.ipc,
+        llc_miss_rate=ser_run.timing.llc_miss_rate,
+    )
+
+
+def _device_utilization(accelerator: CerealAccelerator, root, stream) -> tuple:
+    """(ser, deser) device-level utilization with all 8 units busy.
+
+    Simulates eight concurrent operations on the shared memory system via
+    :class:`~repro.cereal.device_sim.DeviceSimulator`.
+    """
+    from repro.cereal.device_sim import DeviceSimulator
+
+    simulator = DeviceSimulator(accelerator)
+    pool = accelerator.config.num_serializer_units
+    ser_run = simulator.run([("serialize", root)] * pool)
+    receivers = [
+        Heap(registry=root.heap.registry)
+        for _ in range(accelerator.config.num_deserializer_units)
+    ]
+    de_run = simulator.run(
+        [("deserialize", stream, receiver) for receiver in receivers]
+    )
+    return ser_run.bandwidth_utilization, de_run.bandwidth_utilization
+
+
+def _measure_cereal(workload: str, vanilla: bool = False) -> MicroMeasurement:
+    heap = Heap(registry=None)
+    register_micro_klasses(heap.registry)
+    receiver = Heap(registry=heap.registry)
+    root = build_microbench(heap, workload)
+    config = CerealConfig().vanilla() if vanilla else CerealConfig()
+    accelerator = CerealAccelerator(config)
+    for klass in heap.registry:
+        accelerator.register_class(klass)
+    result, ser_timing, _ = accelerator.serialize(root)
+    _, de_timing, _ = accelerator.deserialize(result.stream, receiver)
+    ser_8u, de_8u = _device_utilization(accelerator, root, result.stream)
+    return MicroMeasurement(
+        serialize_time_ns=ser_timing.elapsed_ns,
+        deserialize_time_ns=de_timing.elapsed_ns,
+        serialize_bandwidth=ser_timing.bandwidth_utilization,
+        deserialize_bandwidth=de_timing.bandwidth_utilization,
+        stream_bytes=result.stream.size_bytes,
+        graph_bytes=result.stream.graph_bytes,
+        objects=result.stream.object_count,
+        serialize_bandwidth_8u=ser_8u,
+        deserialize_bandwidth_8u=de_8u,
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_results() -> MicroSuiteResults:
+    suite = MicroSuiteResults()
+    for workload in MICROBENCH_CONFIGS:
+        row: Dict[str, MicroMeasurement] = {}
+        for name in SOFTWARE_SERIALIZERS:
+            row[name] = _measure_software(name, workload)
+        row["cereal"] = _measure_cereal(workload)
+        row["cereal-vanilla"] = _measure_cereal(workload, vanilla=True)
+        suite.results[workload] = row
+    return suite
+
+
+@dataclass
+class SparkSuiteResults:
+    """results[backend][app] -> AppResult; cereal streams kept per app."""
+
+    results: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    cereal_streams: Dict[str, list] = field(default_factory=dict)
+
+    def apps(self) -> List[str]:
+        return list(SPARK_APPS)
+
+
+def _spark_backend(name: str):
+    if name == "java-builtin":
+        return SoftwareBackend(JavaSerializer())
+    if name == "kryo":
+        return SoftwareBackend(KryoSerializer())
+    if name == "cereal":
+        return CerealBackend(CerealAccelerator(), keep_streams=True)
+    raise ValueError(name)
+
+
+@pytest.fixture(scope="session")
+def spark_results() -> SparkSuiteResults:
+    suite = SparkSuiteResults()
+    for backend_name in ("java-builtin", "kryo", "cereal"):
+        row = {}
+        for app_name, runner in SPARK_APPS.items():
+            backend = _spark_backend(backend_name)
+            row[app_name] = runner(backend)
+            if backend_name == "cereal":
+                suite.cereal_streams[app_name] = list(backend.streams)
+        suite.results[backend_name] = row
+    return suite
+
+
+@dataclass
+class JSBSResults:
+    """Measured round trips on the MediaContent object."""
+
+    java: MicroMeasurement = None  # type: ignore[assignment]
+    kryo: MicroMeasurement = None  # type: ignore[assignment]
+    skyway: MicroMeasurement = None  # type: ignore[assignment]
+    cereal: MicroMeasurement = None  # type: ignore[assignment]
+
+    def round_trip_ns(self, name: str) -> float:
+        m = getattr(self, name)
+        return m.serialize_time_ns + m.deserialize_time_ns
+
+
+def _measure_jsbs(name: str) -> MicroMeasurement:
+    heap = Heap(registry=None)
+    root = build_media_content(heap)
+    receiver = Heap(registry=heap.registry)
+    if name == "cereal":
+        accelerator = CerealAccelerator()
+        for klass in heap.registry:
+            accelerator.register_class(klass)
+        result, ser_timing, _ = accelerator.serialize(root)
+        _, de_timing, _ = accelerator.deserialize(result.stream, receiver)
+        return MicroMeasurement(
+            serialize_time_ns=ser_timing.elapsed_ns,
+            deserialize_time_ns=de_timing.elapsed_ns,
+            serialize_bandwidth=ser_timing.bandwidth_utilization,
+            deserialize_bandwidth=de_timing.bandwidth_utilization,
+            stream_bytes=result.stream.size_bytes,
+            graph_bytes=result.stream.graph_bytes,
+            objects=result.stream.object_count,
+        )
+    platform = SoftwarePlatform()
+    serializer = _make_software(name, heap.registry)
+    result, ser_run = platform.run_serialize(serializer, root)
+    _, de_run = platform.run_deserialize(serializer, result.stream, receiver)
+    return MicroMeasurement(
+        serialize_time_ns=ser_run.timing.time_ns,
+        deserialize_time_ns=de_run.timing.time_ns,
+        serialize_bandwidth=ser_run.timing.bandwidth_utilization,
+        deserialize_bandwidth=de_run.timing.bandwidth_utilization,
+        stream_bytes=result.stream.size_bytes,
+        graph_bytes=result.stream.graph_bytes,
+        objects=result.stream.object_count,
+    )
+
+
+@pytest.fixture(scope="session")
+def jsbs_results() -> JSBSResults:
+    return JSBSResults(
+        java=_measure_jsbs("java-builtin"),
+        kryo=_measure_jsbs("kryo"),
+        skyway=_measure_jsbs("skyway"),
+        cereal=_measure_jsbs("cereal"),
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

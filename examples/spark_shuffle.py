@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Spark shuffle under three serializers: Java S/D, Kryo, and Cereal.
+
+Runs the TeraSort mini-Spark application (Table III) on each backend and
+prints the paper-style runtime breakdown (compute / GC / IO / S/D), the
+Figure 13-style S/D speedups, and the Figure 17-style energy comparison.
+
+Run:  python examples/spark_shuffle.py
+"""
+
+from repro.cereal import CerealAccelerator
+from repro.cereal.power import cereal_energy_joules, cpu_energy_joules
+from repro.formats import JavaSerializer, KryoSerializer
+from repro.spark.apps import run_terasort
+from repro.spark.backend import CerealBackend, SoftwareBackend
+
+
+def energy_joules(result, backend_name):
+    ser_s = result.breakdown.serialize_ns * 1e-9
+    de_s = result.breakdown.deserialize_ns * 1e-9
+    if backend_name == "cereal":
+        return cereal_energy_joules(ser_s, "serialize") + cereal_energy_joules(
+            de_s, "deserialize"
+        )
+    return cpu_energy_joules(ser_s + de_s)
+
+
+def main():
+    backends = {
+        "java-builtin": SoftwareBackend(JavaSerializer()),
+        "kryo": SoftwareBackend(KryoSerializer()),
+        "cereal": CerealBackend(CerealAccelerator()),
+    }
+
+    results = {}
+    print("TeraSort (scaled): runtime breakdown per serializer")
+    print(f"{'backend':14s} {'total':>9s} {'compute':>8s} {'gc':>6s} {'io':>7s} "
+          f"{'s/d':>8s} {'s/d %':>6s}")
+    for name, backend in backends.items():
+        result = run_terasort(backend, scale=0.5)
+        results[name] = result
+        b = result.breakdown
+        print(
+            f"{name:14s} {b.total_ns / 1e6:7.1f}ms {b.compute_ns / 1e6:6.1f}ms "
+            f"{b.gc_ns / 1e6:4.1f}ms {b.io_ns / 1e6:5.1f}ms "
+            f"{b.sd_ns / 1e6:6.1f}ms {b.sd_fraction * 100:5.1f}%"
+        )
+
+    java, kryo, cereal = (
+        results["java-builtin"],
+        results["kryo"],
+        results["cereal"],
+    )
+    print("\nS/D speedups (Figure 13 style):")
+    print(f"  kryo   over java: {java.breakdown.sd_ns / kryo.breakdown.sd_ns:5.2f}x")
+    print(f"  cereal over java: {java.breakdown.sd_ns / cereal.breakdown.sd_ns:5.2f}x")
+    print(f"  cereal over kryo: {kryo.breakdown.sd_ns / cereal.breakdown.sd_ns:5.2f}x")
+
+    print("\nS/D energy (Figure 17 style):")
+    base = energy_joules(java, "java-builtin")
+    for name, result in results.items():
+        joules = energy_joules(result, name)
+        print(f"  {name:14s} {joules * 1000:10.3f} mJ  ({base / joules:8.1f}x saving)")
+
+
+if __name__ == "__main__":
+    main()

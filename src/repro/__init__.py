@@ -1,0 +1,12 @@
+"""Cereal: a specialized architecture for object serialization (ISCA 2020).
+
+Python reproduction of Jang et al.'s hardware S/D accelerator, spanning the
+simulated JVM heap (:mod:`repro.jvm`), the serialization formats
+(:mod:`repro.formats`), the accelerator cycle model (:mod:`repro.cereal`),
+the host-CPU cost model (:mod:`repro.cpu`), the workloads
+(:mod:`repro.workloads`), and the mini-Spark analytics substrate
+(:mod:`repro.spark`). See README.md for a guided tour and EXPERIMENTS.md
+for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"

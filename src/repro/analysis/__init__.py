@@ -1,0 +1,5 @@
+"""Reporting helpers: aligned text tables and experiment result records."""
+
+from repro.analysis.report import ReportTable, format_speedup, geomean
+
+__all__ = ["ReportTable", "format_speedup", "geomean"]

@@ -1,0 +1,106 @@
+"""Aggregate the benchmark result tables into one reproduction report.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated
+``benchmarks/results/``, this module collates every saved table into a
+single document (stdout and ``benchmarks/results/SUMMARY.txt``):
+
+    python -m repro.analysis.summary [results_dir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Tuple
+
+#: Presentation order: paper figure/table order, then ablations.
+_ORDER = [
+    "table01_config",
+    "fig02a_breakdown_java",
+    "fig02b_breakdown_kryo",
+    "fig03a_ipc",
+    "fig03b_llc",
+    "fig03c_bandwidth",
+    "fig03d_kryo_speedup",
+    "fig10_serialize",
+    "fig10_deserialize",
+    "fig11_bandwidth",
+    "table04_sizes",
+    "fig12_jsbs_speedup",
+    "fig12_jsbs_sizes",
+    "fig13_spark_sd_speedup",
+    "fig14_program_speedup",
+    "fig15_spark_bandwidth",
+    "fig16_compression",
+    "table05_area_power",
+    "fig17_energy",
+    "ablation_packing",
+    "ablation_pipelining",
+    "ablation_reconstructors",
+    "ablation_prefetch_depth",
+    "ablation_unit_pool",
+    "ablation_mai_coalescing",
+    "ablation_mai_entries",
+    "ablation_coherence",
+]
+
+
+def collect_reports(results_dir: str) -> List[Tuple[str, str]]:
+    """(name, text) for every saved table, in presentation order."""
+    if not os.path.isdir(results_dir):
+        raise FileNotFoundError(
+            f"no results directory at {results_dir!r}; run "
+            f"`pytest benchmarks/ --benchmark-only` first"
+        )
+    available = {
+        name[:-4]: os.path.join(results_dir, name)
+        for name in os.listdir(results_dir)
+        if name.endswith(".txt") and name != "SUMMARY.txt"
+    }
+    ordered = [name for name in _ORDER if name in available]
+    ordered.extend(sorted(set(available) - set(_ORDER)))
+    reports = []
+    for name in ordered:
+        with open(available[name], "r", encoding="utf-8") as handle:
+            reports.append((name, handle.read().rstrip()))
+    return reports
+
+
+def build_summary(results_dir: str) -> str:
+    """Concatenate every report under a single banner."""
+    reports = collect_reports(results_dir)
+    lines = [
+        "Cereal (ISCA 2020) reproduction — collected experiment results",
+        "#" * 62,
+        f"{len(reports)} tables from {results_dir}",
+        "",
+    ]
+    for name, text in reports:
+        lines.append(text)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    default_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))),
+        "benchmarks",
+        "results",
+    )
+    results_dir = argv[1] if len(argv) > 1 else default_dir
+    try:
+        summary = build_summary(results_dir)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 1
+    print(summary)
+    out_path = os.path.join(results_dir, "SUMMARY.txt")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(summary + "\n")
+    print(f"(written to {out_path})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,54 @@
+"""Cereal accelerator: cycle-level timing model (paper Section V).
+
+The functional bytes come from :class:`repro.formats.CerealSerializer`; this
+package models *when* the hardware produces them:
+
+* :mod:`repro.cereal.tables` — Klass Pointer Table (CAM, 4 KB) and Class ID
+  Table (SRAM, 2 KB) with the 4K-type capacity limit;
+* :mod:`repro.cereal.tlb` — 128-entry TLB over 1 GB huge pages;
+* :mod:`repro.cereal.mai` — Memory Access Interface: 64-entry coalescing
+  tracker, reorder buffers, atomic read-modify-write;
+* :mod:`repro.cereal.su` — Serialization Unit pipeline (header manager,
+  object metadata manager, object handler, reference array writer);
+* :mod:`repro.cereal.du` — Deserialization Unit (layout manager, block
+  manager, block reconstructors);
+* :mod:`repro.cereal.accelerator` — command queue, request scheduler, and
+  the multi-unit device façade;
+* :mod:`repro.cereal.power` — Table V area/power constants and the energy
+  model of Figure 17.
+"""
+
+from repro.cereal.tables import ClassIDTable, KlassPointerTable
+from repro.cereal.tlb import TLB
+from repro.cereal.mai import MemoryAccessInterface
+from repro.cereal.su import SerializationUnit, SUResult
+from repro.cereal.du import DeserializationUnit, DUResult
+from repro.cereal.accelerator import CerealAccelerator, OperationTiming
+from repro.cereal.device_sim import DeviceRunResult, DeviceSimulator
+from repro.cereal.power import (
+    CEREAL_MODULE_SPECS,
+    cereal_area_mm2,
+    cereal_average_power_watts,
+    cereal_energy_joules,
+    cpu_energy_joules,
+)
+
+__all__ = [
+    "KlassPointerTable",
+    "ClassIDTable",
+    "TLB",
+    "MemoryAccessInterface",
+    "SerializationUnit",
+    "SUResult",
+    "DeserializationUnit",
+    "DUResult",
+    "CerealAccelerator",
+    "OperationTiming",
+    "DeviceSimulator",
+    "DeviceRunResult",
+    "CEREAL_MODULE_SPECS",
+    "cereal_area_mm2",
+    "cereal_average_power_watts",
+    "cereal_energy_joules",
+    "cpu_energy_joules",
+]

@@ -1,0 +1,140 @@
+"""Memory Access Interface (paper Section V-A).
+
+The MAI is the accelerator's only path to memory. The paper gives it:
+
+* a 64-entry associative memory tracking outstanding requests, used for
+  **request coalescing** (as in conventional MSHRs) — a second read of a
+  32 B block that is already in flight (or recently completed and still
+  tracked) attaches to the existing entry instead of re-accessing DRAM;
+* **reorder buffers** so requesters receive responses in request order —
+  modelled by returning, for each logical read, the max completion time of
+  its blocks (order restoration adds no throughput, only the wait);
+* **atomic read-modify-write** support so the header manager can update
+  visited metadata race-free (modelled as a read followed by a posted
+  write that occupies the entry one extra cycle).
+
+Writes are posted: the requester continues once the write is handed to the
+MAI; drained-by time is tracked so an operation's completion includes its
+write traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.config import CerealConfig
+from repro.common.errors import SimulationError
+from repro.cereal.tlb import TLB
+from repro.memory.dram import DRAMModel
+
+
+@dataclass
+class MAIStats:
+    read_requests: int = 0
+    write_requests: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+    coalesced_blocks: int = 0
+    atomic_rmws: int = 0
+
+    @property
+    def coalescing_rate(self) -> float:
+        total = self.blocks_read + self.coalesced_blocks
+        if not total:
+            return 0.0
+        return self.coalesced_blocks / total
+
+
+class MemoryAccessInterface:
+    """Coalescing front-end between one Cereal unit pool and DRAM."""
+
+    def __init__(
+        self,
+        dram: DRAMModel,
+        config: CerealConfig | None = None,
+        tlb: TLB | None = None,
+        coalescing: bool = True,
+    ):
+        self.dram = dram
+        self.config = config or CerealConfig()
+        self.tlb = tlb or TLB(entries=self.config.tlb_entries)
+        self.coalescing = coalescing
+        self.block_bytes = self.config.mai_block_bytes
+        # Outstanding/recent block entries: block index -> completion ns.
+        self._entries: OrderedDict[int, float] = OrderedDict()
+        self.stats = MAIStats()
+        self.last_drain_ns = 0.0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _blocks_of(self, address: int, length: int):
+        if length <= 0:
+            raise SimulationError(f"access length must be positive, got {length}")
+        first = address // self.block_bytes
+        last = (address + length - 1) // self.block_bytes
+        return range(first, last + 1)
+
+    def _track(self, block: int, completion: float) -> None:
+        self._entries[block] = completion
+        self._entries.move_to_end(block)
+        if len(self._entries) > self.config.mai_entries:
+            self._entries.popitem(last=False)
+
+    # -- reads ------------------------------------------------------------------
+
+    def read(self, when_ns: float, address: int, length: int) -> float:
+        """Issue a read; returns the in-order completion time (ns)."""
+        self.stats.read_requests += 1
+        when_ns += self.tlb.translate(address)
+        completion = when_ns
+        for block in self._blocks_of(address, length):
+            tracked = self._entries.get(block) if self.coalescing else None
+            if tracked is not None:
+                # Coalesce onto the outstanding/recent entry.
+                self.stats.coalesced_blocks += 1
+                block_done = max(when_ns, tracked)
+            else:
+                self.stats.blocks_read += 1
+                block_done = self.dram.access(
+                    when_ns,
+                    block * self.block_bytes,
+                    self.block_bytes,
+                    is_write=False,
+                )
+                # Coherence "get": fetching the up-to-date copy may take a
+                # detour through the host's cache hierarchy (Section V-E).
+                block_done += self.config.coherence_extra_read_ns
+                self._track(block, block_done)
+            completion = max(completion, block_done)
+        return completion
+
+    # -- writes (posted) ------------------------------------------------------------
+
+    def write(self, when_ns: float, address: int, length: int) -> float:
+        """Post a write; returns the hand-off time (requester continues)."""
+        self.stats.write_requests += 1
+        when_ns += self.tlb.translate(address)
+        for block in self._blocks_of(address, length):
+            self.stats.blocks_written += 1
+            done = self.dram.access(
+                when_ns, block * self.block_bytes, self.block_bytes, is_write=True
+            )
+            self._track(block, done)
+            self.last_drain_ns = max(self.last_drain_ns, done)
+        return when_ns + 1.0  # one cycle to enqueue into the MAI
+
+    # -- atomic read-modify-write ------------------------------------------------------
+
+    def atomic_rmw(self, when_ns: float, address: int, length: int = 8) -> float:
+        """Atomic update (visited-bit / relative-address header writes)."""
+        self.stats.atomic_rmws += 1
+        read_done = self.read(when_ns, address, length)
+        # The buffered RMW entry applies the modify and writes back without
+        # stalling the requester beyond the read; the writeback is posted.
+        self.write(read_done, address, length)
+        return read_done + 1.0
+
+    def drain(self, when_ns: float) -> float:
+        """Time by which all posted writes are globally visible."""
+        return max(when_ns, self.last_drain_ns)

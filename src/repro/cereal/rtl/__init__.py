@@ -1,0 +1,39 @@
+"""Register-transfer-level datapath models (the paper's Chisel RTL).
+
+The cycle models in :mod:`repro.cereal.su` and :mod:`repro.cereal.du` charge
+fixed per-item costs — one packed reference per cycle in the reference
+array writer, one 8-bit layout chunk per cycle in the layout manager, a
+single-cycle 0/1 count. This package models the *datapaths* that make those
+costs plausible, at the level the paper's synthesizable Chisel describes:
+
+* :class:`~repro.cereal.rtl.bitpack.PackerDatapath` — the reference array
+  writer's pipeline: a leading-zero counter (priority encoder), a barrel
+  shifter appending significant bits + end bit into a bit accumulator, and
+  a byte aligner that also maintains the end map. One item per cycle.
+* :class:`~repro.cereal.rtl.bitpack.BitmapPackerDatapath` — the object
+  metadata manager's bitmap packer: 64 bitmap bits per cycle through the
+  same aligner.
+* :class:`~repro.cereal.rtl.bitpack.UnpackerDatapath` — the DU's custom
+  unpacking module: an end-map scanner plus trailing-one detector that
+  recovers one item per cycle from the packed byte stream.
+* :class:`~repro.cereal.rtl.popcount.PopcountTree` — the layout manager's
+  single-cycle ones/zeros counter, an adder tree of depth log2(width).
+
+All datapaths are bit-exact against the functional encoders in
+:mod:`repro.formats.packing` (property-tested), and their cycle counts are
+asserted to match the constants the timing models charge.
+"""
+
+from repro.cereal.rtl.bitpack import (
+    BitmapPackerDatapath,
+    PackerDatapath,
+    UnpackerDatapath,
+)
+from repro.cereal.rtl.popcount import PopcountTree
+
+__all__ = [
+    "PackerDatapath",
+    "BitmapPackerDatapath",
+    "UnpackerDatapath",
+    "PopcountTree",
+]

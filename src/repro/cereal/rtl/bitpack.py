@@ -1,0 +1,190 @@
+"""Packing/unpacking datapaths (reference array writer, DU unpackers).
+
+These model, cycle by cycle, the hardware that implements the Section IV-B
+object packing scheme:
+
+* **pack** — per item: a priority encoder finds the most significant set
+  bit (giving the significant-bit count in one cycle), a barrel shifter
+  appends ``significant bits + end bit`` into a bit accumulator, and the
+  aligner zero-pads to the next byte boundary, emitting bytes and setting
+  the end-map bit of each item's final byte;
+* **unpack** — per item: the end-map scanner finds the item's final byte,
+  a trailing-one detector locates the end bit inside the item's buckets,
+  and the payload bits before it are the recovered value/bitmap.
+
+Both directions process **one item per cycle** (the rate the SU's
+reference array writer and the DU's unpackers are charged in the timing
+models), and both are bit-exact against :mod:`repro.formats.packing`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.errors import SimulationError
+from repro.formats.packing import PackedArray
+
+
+class _BitAccumulator:
+    """The shift-register + byte aligner shared by both packers."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+        self.end_map_positions: List[int] = []
+        self._acc = 0
+        self._acc_bits = 0
+
+    def append_item(self, bits: Sequence[int]) -> None:
+        """Append an item's payload bits + end bit, byte-aligned."""
+        for bit in bits:
+            self._acc = (self._acc << 1) | bit
+            self._acc_bits += 1
+        # End bit.
+        self._acc = (self._acc << 1) | 1
+        self._acc_bits += 1
+        # Zero-pad to the byte boundary (the aligner).
+        padding = (-self._acc_bits) % 8
+        self._acc <<= padding
+        self._acc_bits += padding
+        while self._acc_bits >= 8:
+            shift = self._acc_bits - 8
+            self.data.append((self._acc >> shift) & 0xFF)
+            self._acc &= (1 << shift) - 1
+            self._acc_bits -= 8
+        self.end_map_positions.append(len(self.data) - 1)
+
+    def result(self, item_count: int) -> PackedArray:
+        assert self._acc_bits == 0  # items are always byte-aligned
+        end_map_bits = [0] * len(self.data)
+        for position in self.end_map_positions:
+            end_map_bits[position] = 1
+        end_map = bytearray()
+        for start in range(0, len(end_map_bits), 8):
+            byte = 0
+            for offset, bit in enumerate(end_map_bits[start : start + 8]):
+                byte |= bit << (7 - offset)
+            end_map.append(byte)
+        return PackedArray(
+            data=bytes(self.data), end_map=bytes(end_map), item_count=item_count
+        )
+
+
+def priority_encode(value: int) -> int:
+    """Position of the most significant set bit + 1 (0 for value 0).
+
+    The single-cycle leading-zero counter in front of the barrel shifter.
+    """
+    if value < 0:
+        raise SimulationError("priority encoder input must be non-negative")
+    return value.bit_length()
+
+
+class PackerDatapath:
+    """The reference array writer's packing pipeline: one item per cycle."""
+
+    def __init__(self) -> None:
+        self._accumulator = _BitAccumulator()
+        self._items = 0
+        self.cycles = 0
+
+    def push(self, value: int) -> None:
+        """Pack one relative-address item (a single pipeline beat)."""
+        if value < 0:
+            raise SimulationError("packed values must be non-negative")
+        width = max(1, priority_encode(value))
+        bits = [(value >> (width - 1 - i)) & 1 for i in range(width)]
+        self._accumulator.append_item(bits)
+        self._items += 1
+        self.cycles += 1
+
+    def result(self) -> PackedArray:
+        return self._accumulator.result(self._items)
+
+
+class BitmapPackerDatapath:
+    """The OMM's layout-bitmap packer: 64 bitmap bits per cycle."""
+
+    BITS_PER_CYCLE = 64
+
+    def __init__(self) -> None:
+        self._accumulator = _BitAccumulator()
+        self._items = 0
+        self.cycles = 0
+
+    def push_bitmap(self, bits: Sequence[int]) -> None:
+        if not bits:
+            raise SimulationError("layout bitmap must be non-empty")
+        if any(bit not in (0, 1) for bit in bits):
+            raise SimulationError("layout bitmap must contain only 0/1")
+        self._accumulator.append_item(list(bits))
+        self._items += 1
+        self.cycles += (len(bits) + self.BITS_PER_CYCLE - 1) // self.BITS_PER_CYCLE
+
+    def result(self) -> PackedArray:
+        return self._accumulator.result(self._items)
+
+
+class UnpackerDatapath:
+    """The DU's custom unpacking module: one item recovered per cycle."""
+
+    def __init__(self, packed: PackedArray):
+        self.packed = packed
+        self._byte_cursor = 0
+        self._emitted = 0
+        self.cycles = 0
+
+    def _end_map_bit(self, byte_index: int) -> int:
+        byte = self.packed.end_map[byte_index // 8]
+        return (byte >> (7 - byte_index % 8)) & 1
+
+    def next_item_bits(self) -> Optional[List[int]]:
+        """Recover the next item's payload bits; None when drained."""
+        if self._emitted >= self.packed.item_count:
+            return None
+        # End-map scanner: advance to this item's final byte.
+        start = self._byte_cursor
+        end = start
+        while end < len(self.packed.data) and not self._end_map_bit(end):
+            end += 1
+        if end >= len(self.packed.data):
+            raise SimulationError("end map exhausted before item boundary")
+        bucket_bits: List[int] = []
+        for byte in self.packed.data[start : end + 1]:
+            bucket_bits.extend((byte >> (7 - i)) & 1 for i in range(8))
+        # Trailing-one detector: the last set bit is the end bit.
+        last_one = -1
+        for position, bit in enumerate(bucket_bits):
+            if bit:
+                last_one = position
+        if last_one < 0:
+            raise SimulationError("item buckets contain no end bit")
+        self._byte_cursor = end + 1
+        self._emitted += 1
+        self.cycles += 1
+        return bucket_bits[:last_one]
+
+    def next_value(self) -> Optional[int]:
+        """Recover the next numeric item (reference relative address)."""
+        bits = self.next_item_bits()
+        if bits is None:
+            return None
+        value = 0
+        for bit in bits:
+            value = (value << 1) | bit
+        return value
+
+    def drain_values(self) -> List[int]:
+        out = []
+        while True:
+            value = self.next_value()
+            if value is None:
+                return out
+            out.append(value)
+
+    def drain_bitmaps(self) -> List[List[int]]:
+        out = []
+        while True:
+            bits = self.next_item_bits()
+            if bits is None:
+                return out
+            out.append(bits)

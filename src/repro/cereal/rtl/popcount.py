@@ -1,0 +1,59 @@
+"""Single-cycle popcount: the layout manager's 0/1 counter.
+
+Paper Section V-C: the layout manager "counts the number of 0s and 1s in a
+single cycle" for each 8-bit layout-bitmap chunk. A single-cycle count of a
+small word is a classic adder tree: pair up bits, add, repeat — depth
+log2(width), a handful of small adders. This model evaluates the tree
+level by level so tests can check both the result and the logic depth that
+makes "single cycle" credible at the accelerator's 1 GHz.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class PopcountTree:
+    """Adder-tree population count over a fixed input width."""
+
+    def __init__(self, width: int = 8):
+        if width <= 0 or width & (width - 1):
+            raise SimulationError("popcount width must be a power of two")
+        self.width = width
+
+    @property
+    def depth(self) -> int:
+        """Adder levels between inputs and the final sum."""
+        return int(math.log2(self.width))
+
+    def levels(self, bits: Sequence[int]) -> List[List[int]]:
+        """All intermediate partial sums, inputs first, final sum last."""
+        if len(bits) != self.width:
+            raise SimulationError(
+                f"expected {self.width} bits, got {len(bits)}"
+            )
+        if any(bit not in (0, 1) for bit in bits):
+            raise SimulationError("popcount inputs must be 0/1")
+        levels = [list(bits)]
+        current = list(bits)
+        while len(current) > 1:
+            current = [
+                current[i] + current[i + 1] for i in range(0, len(current), 2)
+            ]
+            levels.append(current)
+        return levels
+
+    def count(self, bits: Sequence[int]) -> Tuple[int, int]:
+        """(ones, zeros) of the chunk — what the LM hands the block manager."""
+        ones = self.levels(bits)[-1][0]
+        return ones, self.width - ones
+
+    def count_byte(self, value: int) -> Tuple[int, int]:
+        """Convenience: count over a byte-encoded chunk (MSB first)."""
+        if not 0 <= value < (1 << self.width):
+            raise SimulationError(f"value out of {self.width}-bit range")
+        bits = [(value >> (self.width - 1 - i)) & 1 for i in range(self.width)]
+        return self.count(bits)

@@ -1,0 +1,102 @@
+"""Hardware type-translation tables (paper Sections V-B, V-C, V-E).
+
+During serialization the object handler translates each header's *klass
+address* to a compact *class ID* by a lookup in the **Klass Pointer Table**,
+a 4 KB content-addressable memory. During deserialization the block
+reconstructor translates class IDs back to klass addresses through the
+**Class ID Table**, a 2 KB directly-indexed SRAM. Both are populated by the
+``RegisterClass`` software API and bound the number of serializable types to
+4K entries (Section V-E).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import CapacityError, SimulationError
+
+DEFAULT_MAX_TYPES = 4096
+LOOKUP_CYCLES = 1
+
+
+class KlassPointerTable:
+    """CAM mapping klass (metaspace) addresses to class IDs."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_TYPES):
+        if max_entries <= 0:
+            raise SimulationError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._id_by_address: Dict[int, int] = {}
+        self.lookups = 0
+
+    def install(self, klass_address: int, class_id: int) -> None:
+        """RegisterClass: add a klass-address -> class-ID entry."""
+        if klass_address in self._id_by_address:
+            if self._id_by_address[klass_address] != class_id:
+                raise SimulationError(
+                    f"klass address {klass_address:#x} re-registered with a "
+                    f"different class ID"
+                )
+            return
+        if len(self._id_by_address) >= self.max_entries:
+            raise CapacityError(
+                f"Klass Pointer Table full ({self.max_entries} entries)"
+            )
+        self._id_by_address[klass_address] = class_id
+
+    def lookup(self, klass_address: int) -> int:
+        """Single-cycle CAM match; raises if the type was never registered."""
+        self.lookups += 1
+        try:
+            return self._id_by_address[klass_address]
+        except KeyError:
+            raise CapacityError(
+                f"klass address {klass_address:#x} not present in the Klass "
+                f"Pointer Table; RegisterClass was not called for this type"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._id_by_address)
+
+
+class ClassIDTable:
+    """SRAM mapping class IDs to klass (metaspace) addresses."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_TYPES):
+        if max_entries <= 0:
+            raise SimulationError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._addresses: List[int] = []
+        self.lookups = 0
+
+    def install(self, class_id: int, klass_address: int) -> None:
+        """RegisterClass: entries must be installed in dense ID order."""
+        if class_id >= self.max_entries:
+            raise CapacityError(
+                f"Class ID Table full ({self.max_entries} entries)"
+            )
+        if class_id == len(self._addresses):
+            self._addresses.append(klass_address)
+        elif class_id < len(self._addresses):
+            if self._addresses[class_id] != klass_address:
+                raise SimulationError(
+                    f"class ID {class_id} re-registered with a different "
+                    f"klass address"
+                )
+        else:
+            raise SimulationError(
+                f"class IDs must be installed densely; got {class_id} with "
+                f"{len(self._addresses)} entries present"
+            )
+
+    def lookup(self, class_id: int) -> int:
+        """Single-cycle SRAM read; raises for unknown IDs."""
+        self.lookups += 1
+        if not 0 <= class_id < len(self._addresses):
+            raise CapacityError(
+                f"class ID {class_id} not present in the Class ID Table"
+            )
+        return self._addresses[class_id]
+
+    def __len__(self) -> int:
+        return len(self._addresses)

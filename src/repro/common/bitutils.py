@@ -1,0 +1,133 @@
+"""Bit-level helpers shared by the JVM heap model and the packing scheme.
+
+The Cereal serialization format (paper Section IV) is defined at the bit
+level: layout bitmaps mark 8-byte slots, and the object packing scheme stores
+only the significant bits of each value followed by an *end bit*. These
+helpers implement the primitive operations once so both the format encoder
+and the hardware model use identical semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+
+def significant_bits(value: int) -> int:
+    """Number of bits needed to represent ``value`` (at least 1 for zero).
+
+    The packing scheme drops leading zeros but must still emit at least one
+    bit so that the end bit has something to terminate.
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return max(1, value.bit_length())
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Big-endian bit list of ``value`` using exactly ``width`` bits."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if width < value.bit_length():
+        raise ValueError(f"width {width} too small for value {value}")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits` (big-endian)."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {bit}")
+        value = (value << 1) | bit
+    return value
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Pack a bit sequence into bytes, MSB-first, zero-padding the tail."""
+    out = bytearray()
+    acc = 0
+    count = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {bit}")
+        acc = (acc << 1) | bit
+        count += 1
+        if count == 8:
+            out.append(acc)
+            acc = 0
+            count = 0
+    if count:
+        out.append(acc << (8 - count))
+    return bytes(out)
+
+
+def bytes_to_bits(data: bytes, bit_count: int | None = None) -> List[int]:
+    """Unpack bytes into a bit list, MSB-first, truncated to ``bit_count``."""
+    bits: List[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    if bit_count is not None:
+        if bit_count > len(bits):
+            raise ValueError(
+                f"bit_count {bit_count} exceeds available bits {len(bits)}"
+            )
+        bits = bits[:bit_count]
+    return bits
+
+
+def popcount(value: int) -> int:
+    """Count set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return bin(value).count("1")
+
+
+def iter_bit_runs(bits: Sequence[int]) -> Iterator[tuple]:
+    """Yield ``(bit, run_length)`` pairs for consecutive equal bits."""
+    run_bit = None
+    run_len = 0
+    for bit in bits:
+        if bit == run_bit:
+            run_len += 1
+        else:
+            if run_bit is not None:
+                yield (run_bit, run_len)
+            run_bit = bit
+            run_len = 1
+    if run_bit is not None:
+        yield (run_bit, run_len)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return value // alignment * alignment
+
+
+def chunks(seq: Sequence, size: int) -> Iterator[Sequence]:
+    """Yield successive ``size``-length chunks of ``seq`` (last may be short)."""
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    for start in range(0, len(seq), size):
+        yield seq[start : start + size]
+
+
+def concat_bits(groups: Iterable[Sequence[int]]) -> List[int]:
+    """Concatenate several bit sequences into one list."""
+    out: List[int] = []
+    for group in groups:
+        out.extend(group)
+    return out

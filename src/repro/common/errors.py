@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Cereal reproduction.
+
+All library errors derive from :class:`CerealError` so callers can catch one
+base type. Subsystems raise the most specific subtype that applies.
+"""
+
+
+class CerealError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(CerealError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class HeapError(CerealError):
+    """Raised for invalid operations on the simulated JVM heap."""
+
+
+class FormatError(CerealError):
+    """Raised when a serialized stream is malformed or cannot be decoded."""
+
+
+class SimulationError(CerealError):
+    """Raised when the cycle-level simulation reaches an invalid state."""
+
+
+class RegistrationError(CerealError):
+    """A class/type was used with a serializer that requires registration."""
+
+
+class CapacityError(SimulationError):
+    """A fixed-capacity hardware structure (CAM/SRAM/queue) overflowed."""

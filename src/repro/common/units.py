@@ -1,0 +1,55 @@
+"""Units and conversions used throughout the simulators.
+
+The cycle-level models express time in *cycles* of a 1 GHz accelerator clock
+unless stated otherwise, so one cycle equals one nanosecond by default. The
+helpers here keep conversions explicit and centralized.
+"""
+
+from __future__ import annotations
+
+# Decimal byte units (used for DRAM bandwidth, matching DDR4 marketing units).
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# Binary byte units (used for capacities of caches and hardware tables).
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# Type aliases to make signatures self-describing.
+Cycles = int
+Nanoseconds = float
+
+DEFAULT_CLOCK_GHZ = 1.0
+
+
+def cycles_to_seconds(cycles: Cycles, clock_ghz: float = DEFAULT_CLOCK_GHZ) -> float:
+    """Convert a cycle count at ``clock_ghz`` into seconds."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock_ghz must be positive, got {clock_ghz}")
+    return cycles / (clock_ghz * 1e9)
+
+
+def seconds_to_cycles(seconds: float, clock_ghz: float = DEFAULT_CLOCK_GHZ) -> Cycles:
+    """Convert seconds into a (rounded-up) cycle count at ``clock_ghz``."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock_ghz must be positive, got {clock_ghz}")
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    cycles = seconds * clock_ghz * 1e9
+    return int(cycles) if cycles == int(cycles) else int(cycles) + 1
+
+
+def bytes_human(num_bytes: int) -> str:
+    """Render a byte count with a binary-unit suffix, e.g. ``'1.5 MiB'``."""
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,29 @@
+"""Host-CPU cost model for software serializers (paper Section III).
+
+The software serializers run *functionally* on the simulated heap; this
+package converts their real memory traces and work profiles into time:
+
+* :mod:`repro.cpu.cache` — a three-level set-associative cache simulator
+  with a next-line-prefetch classifier, replayed over the actual trace;
+* :mod:`repro.cpu.core` — an analytical core model capturing the limits
+  the paper blames for poor S/D performance: bounded instruction window /
+  load-store queue ⇒ bounded memory-level parallelism ⇒ serialized DRAM
+  misses, low IPC, and single-digit bandwidth utilization;
+* :mod:`repro.cpu.harness` — wraps a serializer call with trace capture
+  and produces a :class:`~repro.cpu.core.CPUTimingResult` (IPC, LLC miss
+  rate, bandwidth utilization, time) mirroring the perf-tool measurements
+  of Figure 3.
+"""
+
+from repro.cpu.cache import CacheHierarchy, CacheStats
+from repro.cpu.core import CPUCostModel, CPUTimingResult
+from repro.cpu.harness import SoftwarePlatform, SoftwareRunResult
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheStats",
+    "CPUCostModel",
+    "CPUTimingResult",
+    "SoftwarePlatform",
+    "SoftwareRunResult",
+]

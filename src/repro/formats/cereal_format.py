@@ -1,0 +1,470 @@
+"""The Cereal serialization format (paper Section IV, Figures 4 and 5).
+
+The stream decouples three structures so hardware can process them in
+parallel (value copying and reference adjustment become independent):
+
+* **value array** — every *value* slot of every object, in image order:
+  the mark word, the class-ID word (the klass pointer translated through
+  the Klass Pointer Table), the zeroed Cereal extension word, and all
+  primitive field slots, each 8 B;
+* **reference array** — one entry per *reference* slot in image order: the
+  target's relative address in the deserialized image (biased by +1 so 0
+  encodes null), packed with the Section IV-B scheme;
+* **layout bitmaps** — per-object bitmaps, one bit per 8 B slot (1 =
+  reference), packed with the same scheme. A bitmap's bit length times 8 is
+  the object's size, so no separate size table is needed.
+
+Objects appear in **breadth-first** order — the order the hardware's header
+manager queue discovers them (Section V-B).
+
+Stream framing (all little-endian):
+
+    u32 graph_total_bytes     u32 object_count
+    u32 value_array_bytes     value array
+    u32 ref_data_bytes        u32 ref_end_map_bytes      u32 ref_count
+    packed references         reference end map
+    u32 bitmap_data_bytes     u32 bitmap_end_map_bytes
+    packed layout bitmaps     bitmap end map
+
+This module is the *functional reference implementation*; the cycle-level
+model in :mod:`repro.cereal` produces identical bytes while accounting time.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import FormatError, RegistrationError
+from repro.formats.base import (
+    DeserializationResult,
+    SerializationResult,
+    SerializedStream,
+    Serializer,
+    WorkProfile,
+)
+from repro.common.bitutils import bits_to_bytes, bytes_to_bits
+from repro.formats.packing import (
+    PackedArray,
+    pack_bitmaps,
+    pack_items,
+    unpack_bitmaps,
+    unpack_items,
+)
+from repro.formats.registry import ClassRegistration
+from repro.jvm.graph import ObjectGraph
+from repro.jvm.heap import Heap, HeapObject, NULL_ADDRESS
+from repro.jvm.klass import ArrayKlass, SLOT_BYTES
+from repro.jvm.markword import MarkWord, identity_hash_for
+
+SECTION_META = "metadata"
+SECTION_VALUES = "value_array"
+SECTION_REFS = "reference_array"
+SECTION_REF_END_MAP = "reference_end_map"
+SECTION_BITMAPS = "layout_bitmap"
+SECTION_BITMAP_END_MAP = "bitmap_end_map"
+
+_MARK_SLOT = 0
+_KLASS_SLOT = 1
+
+# Stream framing flags (one byte after the graph size / object count).
+_FLAG_PACKED = 0x01
+_FLAG_MARK_STRIPPED = 0x02
+
+_INSTR_PER_OBJECT = 20
+_INSTR_PER_SLOT = 2
+
+
+@dataclass
+class CerealStreamSections:
+    """Decoded views of a Cereal stream's three structures.
+
+    ``packed`` selects which representation is populated: the optimized
+    Section IV-B format carries :class:`PackedArray`s, the Section IV-A
+    baseline carries raw 8 B reference words and length-prefixed bitmaps.
+    """
+
+    graph_total_bytes: int
+    object_count: int
+    value_words: List[int]
+    references: Optional[PackedArray] = None
+    bitmaps: Optional[PackedArray] = None
+    packed: bool = True
+    mark_stripped: bool = False
+    raw_references: Optional[List[int]] = None
+    raw_bitmaps: Optional[List[List[int]]] = None
+
+    def reference_values(self) -> List[int]:
+        """Reference-array entries (relative+1, 0=null), either format."""
+        if self.packed:
+            assert self.references is not None
+            return unpack_items(self.references)
+        assert self.raw_references is not None
+        return list(self.raw_references)
+
+    def layout_bitmaps(self) -> List[List[int]]:
+        """Per-object layout bitmaps, either format."""
+        if self.packed:
+            assert self.bitmaps is not None
+            return unpack_bitmaps(self.bitmaps)
+        assert self.raw_bitmaps is not None
+        return [list(bitmap) for bitmap in self.raw_bitmaps]
+
+    @property
+    def reference_count(self) -> int:
+        if self.packed:
+            assert self.references is not None
+            return self.references.item_count
+        assert self.raw_references is not None
+        return len(self.raw_references)
+
+
+class CerealSerializer(Serializer):
+    """Functional model of Cereal's S/D with the optimized packed format.
+
+    ``RegisterClass`` must be called for every serializable type, mirroring
+    the hardware's Klass Pointer Table / Class ID Table population
+    (Section V-A); the tables bound the number of types (Section V-E).
+
+    ``strip_mark_word=True`` enables the header-strip size optimization of
+    Figure 16: mark words are dropped from the value array and rebuilt at
+    the receiver (identity hashes change).
+    """
+
+    name = "cereal"
+
+    def __init__(
+        self,
+        registration: Optional[ClassRegistration] = None,
+        max_class_types: int = 4096,
+        strip_mark_word: bool = False,
+        use_packing: bool = True,
+    ):
+        if registration is None:
+            registration = ClassRegistration(max_entries=max_class_types)
+        self.registration = registration
+        self.strip_mark_word = strip_mark_word
+        # use_packing=False emits the Section IV-A baseline format: raw
+        # 8 B reference offsets and an 8 B length word per layout bitmap.
+        self.use_packing = use_packing
+
+    def register_class(self, klass) -> int:
+        """The paper's ``RegisterClass(Class Type)`` API."""
+        return self.registration.register(klass)
+
+    # ------------------------------------------------------------------ serialize
+
+    def serialize(self, root: HeapObject) -> SerializationResult:
+        graph = ObjectGraph.from_root(root, order="bfs")
+        profile = WorkProfile()
+        heap = root.heap
+        memory = heap.memory
+        header_slots = heap.header_slots
+
+        value_words: List[int] = []
+        reference_values: List[int] = []
+        bitmaps: List[List[int]] = []
+
+        for obj in graph:
+            profile.objects += 1
+            profile.add_instructions(_INSTR_PER_OBJECT)
+            if not self.registration.is_registered(obj.klass):
+                raise RegistrationError(
+                    f"class {obj.klass.name!r} not registered with Cereal; "
+                    f"call register_class() first"
+                )
+            class_id = self.registration.id_of(obj.klass)
+            bitmap = obj.layout_bitmap()
+            bitmaps.append(bitmap)
+
+            reference_slots = set(obj.reference_slots())
+            for slot in range(obj.total_slots):
+                profile.add_instructions(_INSTR_PER_SLOT)
+                if slot < header_slots:
+                    if slot == _MARK_SLOT:
+                        if not self.strip_mark_word:
+                            value_words.append(memory.read_u64(obj.address))
+                    elif slot == _KLASS_SLOT:
+                        value_words.append(class_id)
+                    else:
+                        value_words.append(0)  # zeroed Cereal extension word
+                    continue
+                field_slot = slot - header_slots
+                raw = memory.read_u64(obj.slot_address(field_slot))
+                if field_slot in reference_slots:
+                    profile.reference_fields += 1
+                    if raw == NULL_ADDRESS:
+                        reference_values.append(0)
+                    else:
+                        reference_values.append(
+                            graph.relative_address[raw] + 1
+                        )
+                else:
+                    profile.value_fields += 1
+                    value_words.append(raw)
+
+        value_bytes = struct.pack(f"<{len(value_words)}Q", *value_words)
+        flags = (_FLAG_PACKED if self.use_packing else 0) | (
+            _FLAG_MARK_STRIPPED if self.strip_mark_word else 0
+        )
+        header = struct.pack("<IIB", graph.total_bytes, graph.object_count, flags)
+        value_frame = struct.pack("<I", len(value_bytes))
+
+        if self.use_packing:
+            packed_refs = pack_items(reference_values)
+            packed_bitmaps = pack_bitmaps(bitmaps)
+            ref_frame = struct.pack(
+                "<III",
+                len(packed_refs.data),
+                len(packed_refs.end_map),
+                packed_refs.item_count,
+            )
+            bitmap_frame = struct.pack(
+                "<II", len(packed_bitmaps.data), len(packed_bitmaps.end_map)
+            )
+            ref_payload = [packed_refs.data, packed_refs.end_map]
+            bitmap_payload = [packed_bitmaps.data, packed_bitmaps.end_map]
+            sections_refs = {
+                SECTION_REFS: len(packed_refs.data),
+                SECTION_REF_END_MAP: len(packed_refs.end_map),
+                SECTION_BITMAPS: len(packed_bitmaps.data),
+                SECTION_BITMAP_END_MAP: len(packed_bitmaps.end_map),
+            }
+        else:
+            # Baseline (Section IV-A): 8 B per reference, and each bitmap
+            # stored as an 8 B bit-length word plus its raw bytes.
+            ref_bytes = struct.pack(
+                f"<{len(reference_values)}Q", *reference_values
+            )
+            bitmap_chunks = []
+            for bitmap in bitmaps:
+                bitmap_chunks.append(struct.pack("<Q", len(bitmap)))
+                bitmap_chunks.append(bits_to_bytes(bitmap))
+            bitmap_bytes = b"".join(bitmap_chunks)
+            ref_frame = struct.pack("<I", len(reference_values))
+            bitmap_frame = struct.pack("<I", len(bitmap_bytes))
+            ref_payload = [ref_bytes]
+            bitmap_payload = [bitmap_bytes]
+            sections_refs = {
+                SECTION_REFS: len(ref_bytes),
+                SECTION_BITMAPS: len(bitmap_bytes),
+            }
+
+        data = b"".join(
+            [header, value_frame, value_bytes, ref_frame]
+            + ref_payload
+            + [bitmap_frame]
+            + bitmap_payload
+        )
+        sections = {
+            SECTION_META: len(header)
+            + len(value_frame)
+            + len(ref_frame)
+            + len(bitmap_frame),
+            SECTION_VALUES: len(value_bytes),
+        }
+        sections.update(sections_refs)
+        profile.bytes_read = graph.total_bytes
+        profile.bytes_written = len(data)
+        profile.add_instructions(len(data) // 4)
+        stream = SerializedStream(
+            format_name=self.name,
+            data=data,
+            sections=sections,
+            object_count=graph.object_count,
+            graph_bytes=graph.total_bytes,
+        )
+        stream.check_sections()
+        return SerializationResult(stream, profile)
+
+    # -------------------------------------------------------------- stream decoding
+
+    @staticmethod
+    def decode_sections(stream: SerializedStream) -> CerealStreamSections:
+        """Parse the framing into the three structures (no object rebuild)."""
+        data = stream.data
+        if len(data) < 13:
+            raise FormatError("Cereal stream too short for framing")
+        offset = 0
+
+        def take(count: int) -> bytes:
+            nonlocal offset
+            if offset + count > len(data):
+                raise FormatError("Cereal stream truncated")
+            out = data[offset : offset + count]
+            offset += count
+            return out
+
+        graph_total, object_count, flags = struct.unpack("<IIB", take(9))
+        packed = bool(flags & _FLAG_PACKED)
+        mark_stripped = bool(flags & _FLAG_MARK_STRIPPED)
+        (value_len,) = struct.unpack("<I", take(4))
+        if value_len % SLOT_BYTES:
+            raise FormatError("value array length not slot aligned")
+        value_bytes = take(value_len)
+        value_words = list(
+            struct.unpack(f"<{value_len // SLOT_BYTES}Q", value_bytes)
+        )
+        if packed:
+            ref_data_len, ref_end_len, ref_count = struct.unpack("<III", take(12))
+            references = PackedArray(
+                data=take(ref_data_len),
+                end_map=take(ref_end_len),
+                item_count=ref_count,
+            )
+            bitmap_data_len, bitmap_end_len = struct.unpack("<II", take(8))
+            bitmaps = PackedArray(
+                data=take(bitmap_data_len),
+                end_map=take(bitmap_end_len),
+                item_count=object_count,
+            )
+            raw_references = None
+            raw_bitmaps = None
+        else:
+            references = None
+            bitmaps = None
+            (ref_count,) = struct.unpack("<I", take(4))
+            raw_references = list(
+                struct.unpack(f"<{ref_count}Q", take(ref_count * 8))
+            )
+            (bitmap_len,) = struct.unpack("<I", take(4))
+            bitmap_blob = take(bitmap_len)
+            raw_bitmaps = []
+            cursor = 0
+            for _ in range(object_count):
+                if cursor + 8 > len(bitmap_blob):
+                    raise FormatError("baseline bitmap table truncated")
+                (bit_length,) = struct.unpack(
+                    "<Q", bitmap_blob[cursor : cursor + 8]
+                )
+                cursor += 8
+                byte_length = (bit_length + 7) // 8
+                chunk = bitmap_blob[cursor : cursor + byte_length]
+                if len(chunk) != byte_length:
+                    raise FormatError("baseline bitmap truncated")
+                cursor += byte_length
+                raw_bitmaps.append(bytes_to_bits(chunk, bit_count=bit_length))
+            if cursor != len(bitmap_blob):
+                raise FormatError("trailing bytes in baseline bitmap table")
+        if offset != len(data):
+            raise FormatError(f"{len(data) - offset} trailing bytes in Cereal stream")
+        return CerealStreamSections(
+            graph_total_bytes=graph_total,
+            object_count=object_count,
+            value_words=value_words,
+            references=references,
+            bitmaps=bitmaps,
+            packed=packed,
+            mark_stripped=mark_stripped,
+            raw_references=raw_references,
+            raw_bitmaps=raw_bitmaps,
+        )
+
+    # ---------------------------------------------------------------- deserialize
+
+    def deserialize(
+        self, stream: SerializedStream, heap: Heap
+    ) -> DeserializationResult:
+        sections = self.decode_sections(stream)
+        profile = WorkProfile()
+        if sections.object_count == 0:
+            raise FormatError("empty Cereal stream")
+
+        references = sections.reference_values()
+        bitmaps = sections.layout_bitmaps()
+        base = heap.reserve(sections.graph_total_bytes)
+        memory = heap.memory
+        header_slots = heap.header_slots
+
+        value_cursor = 0
+        ref_cursor = 0
+        offset = 0
+        root_obj: Optional[HeapObject] = None
+        reference_slot_addresses = []  # (slot address, relative) to validate
+
+        for bitmap in bitmaps:
+            address = base + offset
+            profile.objects += 1
+            profile.allocations += 1
+            profile.add_instructions(_INSTR_PER_OBJECT)
+            if len(bitmap) < header_slots:
+                raise FormatError("layout bitmap smaller than the object header")
+            klass = None
+            for slot, bit in enumerate(bitmap):
+                slot_address = address + slot * SLOT_BYTES
+                profile.add_instructions(_INSTR_PER_SLOT)
+                if bit:
+                    relative = references[ref_cursor]
+                    ref_cursor += 1
+                    profile.reference_fields += 1
+                    if relative == 0:
+                        memory.write_u64(slot_address, NULL_ADDRESS)
+                    else:
+                        memory.write_u64(slot_address, base + relative - 1)
+                        reference_slot_addresses.append(
+                            (slot_address, relative - 1)
+                        )
+                    continue
+                if slot == _MARK_SLOT and sections.mark_stripped:
+                    # Header strip: rebuild the mark word at the receiver.
+                    word = MarkWord(
+                        identity_hash=identity_hash_for(address)
+                    ).encode()
+                    profile.add_instructions(12)
+                elif value_cursor < len(sections.value_words):
+                    word = sections.value_words[value_cursor]
+                    value_cursor += 1
+                else:
+                    raise FormatError("value array exhausted mid-object")
+                if slot == _KLASS_SLOT:
+                    # Class ID Table lookup: class ID -> klass address.
+                    klass = self.registration.klass_of(word)
+                    assert klass.metaspace_address is not None
+                    memory.write_u64(slot_address, klass.metaspace_address)
+                else:
+                    memory.write_u64(slot_address, word)
+                profile.value_fields += 1
+
+            if klass is None:
+                raise FormatError("object bitmap marks the klass slot as reference")
+            length = 0
+            if isinstance(klass, ArrayKlass):
+                length = memory.read_u64(address + header_slots * SLOT_BYTES)
+            obj = heap.register_object(address, klass, length)
+            if root_obj is None:
+                root_obj = obj
+            if obj.size_bytes != len(bitmap) * SLOT_BYTES:
+                raise FormatError(
+                    f"bitmap length {len(bitmap)} disagrees with object size "
+                    f"{obj.size_bytes} for {klass.name}"
+                )
+            offset += obj.size_bytes
+
+        if offset != sections.graph_total_bytes:
+            raise FormatError(
+                f"image walked {offset} bytes, header said "
+                f"{sections.graph_total_bytes}"
+            )
+        if ref_cursor != len(references):
+            raise FormatError("unconsumed reference-array entries")
+        if value_cursor != len(sections.value_words):
+            raise FormatError("unconsumed value-array words")
+        # Validate every reference against the materialized object starts
+        # so a corrupted stream cannot leave dangling references behind.
+        valid_offsets = set()
+        cursor = 0
+        for bitmap in bitmaps:
+            valid_offsets.add(cursor)
+            cursor += len(bitmap) * SLOT_BYTES
+        for slot_address, relative in reference_slot_addresses:
+            if relative not in valid_offsets:
+                raise FormatError(
+                    f"reference offset {relative} does not target an object"
+                )
+
+        assert root_obj is not None
+        profile.bytes_read = len(stream.data)
+        profile.bytes_written = sections.graph_total_bytes
+        profile.add_instructions(sections.graph_total_bytes // 8)
+        return DeserializationResult(root_obj, profile)

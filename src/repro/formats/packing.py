@@ -1,0 +1,162 @@
+"""Cereal's object packing scheme (paper Section IV-B, Figure 5).
+
+The baseline Cereal format would need either an 8 B length per layout bitmap
+or wasteful fixed-size buckets. The packing scheme instead stores, for each
+item (a reference's relative address, or an object's layout bitmap):
+
+1. the item's *significant bits* — leading zeros dropped for numeric items,
+   the full bit string for bitmaps — followed by a single **end bit** (1);
+2. the resulting bit string, zero-padded at the tail into 1-byte buckets;
+3. one **end map** bit per packed byte, set on the final byte of each item,
+   so boundaries cost 1/8 of the packed size instead of a length word.
+
+Decoding uses the end map to find each item's byte extent, then locates the
+item's *last set bit* — the end bit — and takes everything before it as the
+payload. This is lossless because the end bit is always the last 1 in the
+item's buckets (padding is all zeros).
+
+The same scheme packs both the reference array and the layout bitmaps
+(Section IV-B: "we apply this object packing scheme to both the layout
+bitmap and references"). Hardware cost: the SU's reference array writer and
+the DU's unpackers implement exactly these loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.common.bitutils import (
+    bits_to_bytes,
+    bytes_to_bits,
+    int_to_bits,
+    significant_bits,
+)
+from repro.common.errors import FormatError
+
+
+@dataclass(frozen=True)
+class PackedArray:
+    """A packed item stream plus its end map."""
+
+    data: bytes
+    end_map: bytes
+    item_count: int
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.data) + len(self.end_map)
+
+
+def _pack_bit_items(items: Sequence[Sequence[int]]) -> PackedArray:
+    """Pack pre-extracted significant-bit strings into buckets + end map."""
+    packed_bits: List[int] = []
+    end_positions: List[int] = []  # index of each item's final byte
+    for bits in items:
+        item_bits = list(bits) + [1]  # append the end bit
+        # Pad this item to a whole number of 1 B buckets.
+        padding = (-len(item_bits)) % 8
+        item_bits.extend([0] * padding)
+        packed_bits.extend(item_bits)
+        end_positions.append(len(packed_bits) // 8 - 1)
+
+    data = bits_to_bytes(packed_bits)
+    end_map_bits = [0] * len(data)
+    for position in end_positions:
+        end_map_bits[position] = 1
+    return PackedArray(
+        data=data, end_map=bits_to_bytes(end_map_bits), item_count=len(items)
+    )
+
+
+def _unpack_bit_items(packed: PackedArray) -> List[List[int]]:
+    """Inverse of :func:`_pack_bit_items`: recover each item's bit payload."""
+    end_bits = bytes_to_bits(packed.end_map, bit_count=len(packed.data))
+    items: List[List[int]] = []
+    start_byte = 0
+    for index, is_end in enumerate(end_bits):
+        if not is_end:
+            continue
+        bucket_bits = bytes_to_bits(packed.data[start_byte : index + 1])
+        # The end bit is the last set bit; payload is everything before it.
+        last_one = -1
+        for position, bit in enumerate(bucket_bits):
+            if bit:
+                last_one = position
+        if last_one < 0:
+            raise FormatError("packed item contains no end bit")
+        items.append(bucket_bits[:last_one])
+        start_byte = index + 1
+    if len(items) != packed.item_count:
+        raise FormatError(
+            f"end map yields {len(items)} items, expected {packed.item_count}"
+        )
+    if start_byte != len(packed.data):
+        raise FormatError(
+            f"{len(packed.data) - start_byte} trailing packed bytes after last item"
+        )
+    return items
+
+
+# -- numeric items (reference relative addresses) -----------------------------------
+
+
+def pack_items(values: Sequence[int]) -> PackedArray:
+    """Pack non-negative integers, keeping only significant bits (Figure 5a)."""
+    bit_items = [int_to_bits(value, significant_bits(value)) for value in values]
+    return _pack_bit_items(bit_items)
+
+
+def unpack_items(packed: PackedArray) -> List[int]:
+    """Inverse of :func:`pack_items`."""
+    out: List[int] = []
+    for bits in _unpack_bit_items(packed):
+        value = 0
+        for bit in bits:
+            value = (value << 1) | bit
+        out.append(value)
+    return out
+
+
+# -- bitmap items (per-object layout bitmaps) ------------------------------------------
+
+
+def pack_bitmaps(bitmaps: Sequence[Sequence[int]]) -> PackedArray:
+    """Pack layout bitmaps. The full bit string is kept (its length encodes
+    the object size), terminated by the end bit like any other item."""
+    for bitmap in bitmaps:
+        if len(bitmap) == 0:
+            raise FormatError("layout bitmap must be non-empty")
+        if any(bit not in (0, 1) for bit in bitmap):
+            raise FormatError("layout bitmap must contain only 0/1")
+    return _pack_bit_items([list(bitmap) for bitmap in bitmaps])
+
+
+def unpack_bitmaps(packed: PackedArray) -> List[List[int]]:
+    """Inverse of :func:`pack_bitmaps`."""
+    return _unpack_bit_items(packed)
+
+
+# -- analytical helpers -----------------------------------------------------------------
+
+
+def packed_size_bytes(values: Sequence[int]) -> int:
+    """Total packed bytes (data + end map) for ``values`` without packing."""
+    data_bytes = sum(
+        (significant_bits(value) + 1 + 7) // 8 for value in values
+    )
+    end_map_bytes = (data_bytes + 7) // 8
+    return data_bytes + end_map_bytes
+
+
+def unpacked_size_bytes(values: Sequence[int], fixed_width: int = 8) -> int:
+    """Size if each value were stored at ``fixed_width`` bytes (baseline)."""
+    return len(values) * fixed_width
+
+
+def compression_ratio(values: Sequence[int], fixed_width: int = 8) -> float:
+    """Space saved by packing relative to the fixed-width baseline."""
+    baseline = unpacked_size_bytes(values, fixed_width)
+    if baseline == 0:
+        return 0.0
+    return 1.0 - packed_size_bytes(values) / baseline

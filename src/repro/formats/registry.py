@@ -1,0 +1,65 @@
+"""Type registration shared by Kryo, Skyway, and Cereal.
+
+Kryo requires the user to register every serializable class up front; the
+registry assigns dense integer class IDs and the *same registry* must be
+used for deserialization (paper Section II). Skyway keeps the same mapping
+but fills it automatically on first use. Cereal's ``RegisterClass`` API
+(Section V-A) populates the Klass Pointer Table (CAM) and Class ID Table
+(SRAM) from the same numbering, bounded by the hardware's 4K-entry limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import RegistrationError
+from repro.jvm.klass import Klass
+
+
+class ClassRegistration:
+    """Bidirectional klass <-> integer class ID mapping."""
+
+    def __init__(self, max_entries: Optional[int] = None):
+        self.max_entries = max_entries
+        self._id_by_name: Dict[str, int] = {}
+        self._klass_by_id: List[Klass] = []
+
+    def register(self, klass: Klass) -> int:
+        """Register ``klass``; returns its class ID. Idempotent per name."""
+        existing = self._id_by_name.get(klass.name)
+        if existing is not None:
+            return existing
+        if self.max_entries is not None and len(self._klass_by_id) >= self.max_entries:
+            raise RegistrationError(
+                f"type registry full ({self.max_entries} entries); "
+                f"cannot register {klass.name!r}"
+            )
+        class_id = len(self._klass_by_id)
+        self._klass_by_id.append(klass)
+        self._id_by_name[klass.name] = class_id
+        return class_id
+
+    def id_of(self, klass: Klass) -> int:
+        """Class ID for a registered klass; raises if unregistered."""
+        try:
+            return self._id_by_name[klass.name]
+        except KeyError:
+            raise RegistrationError(
+                f"class {klass.name!r} was not registered; call register() "
+                f"(Kryo/Cereal require explicit type registration)"
+            ) from None
+
+    def klass_of(self, class_id: int) -> Klass:
+        """Klass for a class ID; raises for unknown IDs."""
+        if not 0 <= class_id < len(self._klass_by_id):
+            raise RegistrationError(f"unknown class ID {class_id}")
+        return self._klass_by_id[class_id]
+
+    def is_registered(self, klass: Klass) -> bool:
+        return klass.name in self._id_by_name
+
+    def __len__(self) -> int:
+        return len(self._klass_by_id)
+
+    def __iter__(self) -> Iterator[Klass]:
+        return iter(self._klass_by_id)

@@ -1,0 +1,184 @@
+"""Byte stream reader/writer with section accounting and varints.
+
+``StreamWriter`` tags every write with a *section* name so the format
+implementations get a byte-accurate breakdown of where stream space goes
+(type metadata, field data, references, bitmaps, ...). ``StreamReader`` is
+the matching cursor-based reader.
+
+Varints use the LEB128 little-endian base-128 encoding that Kryo uses for
+its optimized positive-int writes; signed values are zig-zag mapped first.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.common.errors import FormatError
+
+
+class StreamWriter:
+    """An append-only byte buffer with per-section byte accounting."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.sections: Dict[str, int] = {}
+
+    def _account(self, section: str, length: int) -> None:
+        self.sections[section] = self.sections.get(section, 0) + length
+
+    # -- raw writes ---------------------------------------------------------------
+
+    def write_bytes(self, data: bytes, section: str) -> None:
+        self._buffer.extend(data)
+        self._account(section, len(data))
+
+    def write_u8(self, value: int, section: str) -> None:
+        self.write_bytes(struct.pack("<B", value), section)
+
+    def write_u16(self, value: int, section: str) -> None:
+        self.write_bytes(struct.pack("<H", value), section)
+
+    def write_u32(self, value: int, section: str) -> None:
+        self.write_bytes(struct.pack("<I", value), section)
+
+    def write_u64(self, value: int, section: str) -> None:
+        self.write_bytes(struct.pack("<Q", value), section)
+
+    def write_i32(self, value: int, section: str) -> None:
+        self.write_bytes(struct.pack("<i", value), section)
+
+    def write_i64(self, value: int, section: str) -> None:
+        self.write_bytes(struct.pack("<q", value), section)
+
+    def write_f64(self, value: float, section: str) -> None:
+        self.write_bytes(struct.pack("<d", value), section)
+
+    # -- varints -----------------------------------------------------------------------
+
+    def write_varint(self, value: int, section: str) -> int:
+        """LEB128 unsigned varint; returns encoded length."""
+        if value < 0:
+            raise FormatError(f"varint requires non-negative value, got {value}")
+        start = len(self._buffer)
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self._buffer.append(byte | 0x80)
+            else:
+                self._buffer.append(byte)
+                break
+        length = len(self._buffer) - start
+        self._account(section, length)
+        return length
+
+    def write_signed_varint(self, value: int, section: str) -> int:
+        """Zig-zag mapped signed varint."""
+        zigzag = (value << 1) ^ (value >> 63) if value < 0 else value << 1
+        return self.write_varint(zigzag & ((1 << 64) - 1), section)
+
+    # -- strings -----------------------------------------------------------------------
+
+    def write_utf(self, text: str, section: str) -> None:
+        """Java ``writeUTF``-style string: 2-byte length then UTF-8 bytes."""
+        encoded = text.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise FormatError(f"UTF string too long: {len(encoded)} bytes")
+        self.write_u16(len(encoded), section)
+        self.write_bytes(encoded, section)
+
+    # -- result -------------------------------------------------------------------------
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class StreamReader:
+    """Cursor-based reader over a serialized byte stream."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def _take(self, length: int) -> bytes:
+        if length < 0 or self._pos + length > len(self._data):
+            raise FormatError(
+                f"stream underflow: need {length} bytes at offset {self._pos}, "
+                f"have {self.remaining}"
+            )
+        chunk = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return chunk
+
+    # -- raw reads ------------------------------------------------------------------------
+
+    def read_bytes(self, length: int) -> bytes:
+        return self._take(length)
+
+    def read_u8(self) -> int:
+        return self._take(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def read_u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def read_i32(self) -> int:
+        return struct.unpack("<i", self._take(4))[0]
+
+    def read_i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def read_f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    # -- varints ----------------------------------------------------------------------------
+
+    def read_varint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            if shift > 63:
+                raise FormatError("varint longer than 64 bits")
+            byte = self.read_u8()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def read_signed_varint(self) -> int:
+        zigzag = self.read_varint()
+        value = zigzag >> 1
+        if zigzag & 1:
+            value = ~value
+        return value
+
+    # -- strings ------------------------------------------------------------------------------
+
+    def read_utf(self) -> str:
+        length = self.read_u16()
+        raw = self._take(length)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise FormatError(f"invalid UTF-8 in stream: {error}") from None
+
+    def expect_end(self) -> None:
+        if self.remaining:
+            raise FormatError(f"{self.remaining} trailing bytes in stream")

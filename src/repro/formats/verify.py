@@ -1,0 +1,86 @@
+"""Structural equivalence of object graphs.
+
+Deserialization must reproduce an *equivalent* graph, not an identical one:
+addresses and identity hashes differ between heaps. Two graphs are
+equivalent when a graph isomorphism maps one root to the other preserving
+klass names, array lengths, primitive slot values, and reference structure
+(including sharing and cycles).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.jvm.heap import HeapObject
+from repro.jvm.klass import ArrayKlass, FieldKind, InstanceKlass
+
+_FLOAT_RTOL = 1e-6
+
+
+def _values_match(kind: FieldKind, a, b) -> bool:
+    if kind in (FieldKind.FLOAT, FieldKind.DOUBLE):
+        fa, fb = float(a), float(b)
+        if math.isnan(fa) and math.isnan(fb):
+            return True
+        return math.isclose(fa, fb, rel_tol=_FLOAT_RTOL, abs_tol=1e-12)
+    return a == b
+
+
+def graphs_equivalent(root_a: HeapObject, root_b: HeapObject) -> bool:
+    """True when the two object graphs are structurally equivalent."""
+    return first_difference(root_a, root_b) is None
+
+
+def first_difference(root_a: HeapObject, root_b: HeapObject) -> str | None:
+    """Describe the first structural mismatch, or ``None`` if equivalent.
+
+    Walks both graphs in lockstep (the pairing itself is the isomorphism
+    candidate); any divergence in klass, length, values, nullness, or
+    sharing structure is reported with a path-like description.
+    """
+    mapping: Dict[int, int] = {}
+    reverse: Dict[int, int] = {}
+    worklist: List[Tuple[HeapObject, HeapObject, str]] = [(root_a, root_b, "root")]
+
+    while worklist:
+        a, b, path = worklist.pop()
+        if a.address in mapping:
+            if mapping[a.address] != b.address:
+                return f"{path}: sharing mismatch (A maps elsewhere)"
+            continue
+        if b.address in reverse:
+            return f"{path}: sharing mismatch (B already mapped)"
+        mapping[a.address] = b.address
+        reverse[b.address] = a.address
+
+        if a.klass.name != b.klass.name:
+            return f"{path}: klass {a.klass.name} != {b.klass.name}"
+        if isinstance(a.klass, ArrayKlass):
+            if a.length != b.length:
+                return f"{path}: array length {a.length} != {b.length}"
+            kind = a.klass.element_kind
+            for index in range(a.length):
+                element_path = f"{path}[{index}]"
+                va, vb = a.get_element(index), b.get_element(index)
+                if kind.is_reference:
+                    if (va is None) != (vb is None):
+                        return f"{element_path}: null mismatch"
+                    if va is not None:
+                        worklist.append((va, vb, element_path))
+                elif not _values_match(kind, va, vb):
+                    return f"{element_path}: {va!r} != {vb!r}"
+        else:
+            klass = a.klass
+            assert isinstance(klass, InstanceKlass)
+            for descriptor in klass.fields:
+                field_path = f"{path}.{descriptor.name}"
+                va, vb = a.get(descriptor.name), b.get(descriptor.name)
+                if descriptor.kind.is_reference:
+                    if (va is None) != (vb is None):
+                        return f"{field_path}: null mismatch"
+                    if va is not None:
+                        worklist.append((va, vb, field_path))
+                elif not _values_match(descriptor.kind, va, vb):
+                    return f"{field_path}: {va!r} != {vb!r}"
+    return None

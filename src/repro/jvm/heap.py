@@ -1,0 +1,476 @@
+"""The simulated JVM heap and object handles.
+
+Objects are laid out exactly as the paper describes (Section II plus the
+Section V-E header extension):
+
+    offset 0   mark word            (8 B)
+    offset 8   klass pointer        (8 B)
+    offset 16  Cereal extension     (8 B, only when the heap enables it)
+    then       fields, one 8 B slot each (arrays: length slot + elements)
+
+The Cereal extension word packs the serialization metadata of Section V-E:
+
+    bits [0, 16)   serialization counter (visited tracking)
+    bits [16, 24)  serialization unit ID (shared-object reservation)
+    bits [24, 56)  relative address of the already-serialized object
+    bits [56, 64)  flags (reserved)
+
+References are stored as absolute 64-bit heap addresses; ``0`` is null.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.common.errors import HeapError
+from repro.jvm.klass import (
+    ArrayKlass,
+    FieldKind,
+    InstanceKlass,
+    Klass,
+    KlassRegistry,
+    SLOT_BYTES,
+)
+from repro.jvm.markword import MarkWord, identity_hash_for
+from repro.memory.space import MemorySpace
+from repro.memory.trace import MemoryTrace
+
+HEAP_BASE = 0x0001_0000
+NULL_ADDRESS = 0
+
+_COUNTER_MASK = 0xFFFF
+_UNIT_SHIFT = 16
+_UNIT_MASK = 0xFF
+_RELADDR_SHIFT = 24
+_RELADDR_MASK = 0xFFFF_FFFF
+
+FieldValue = Union[int, float, bool, "HeapObject", None]
+
+
+class Heap:
+    """A bump-pointer heap of HotSpot-layout objects in a `MemorySpace`."""
+
+    def __init__(
+        self,
+        size_bytes: int = 256 * 1024 * 1024,
+        registry: Optional[KlassRegistry] = None,
+        cereal_extension: bool = True,
+        trace: Optional[MemoryTrace] = None,
+    ):
+        self.registry = registry if registry is not None else KlassRegistry()
+        self.cereal_extension = cereal_extension
+        self.memory = MemorySpace(HEAP_BASE + size_bytes, trace=trace)
+        self._alloc_ptr = HEAP_BASE
+        self._objects: Dict[int, HeapObject] = {}
+        self._alloc_order: List[int] = []
+        self._serialization_epoch = 0
+        self.forced_gc_count = 0
+
+    # -- serialization epochs (Section V-E visited tracking) ------------------------
+
+    def next_serialization_epoch(self, counter_bits: int = 16) -> int:
+        """Allocate the next visited-tracking epoch for a serialization.
+
+        The per-object counter field is ``counter_bits`` wide; when the
+        epoch would overflow it, the runtime forces a collection that
+        clears every object's serialization metadata (the paper's
+        ``System.gc()`` escape hatch) and restarts from 1.
+        """
+        limit = (1 << counter_bits) - 1
+        self._serialization_epoch += 1
+        if self._serialization_epoch > limit:
+            if self.cereal_extension:
+                for obj in self.objects():
+                    obj.clear_serialization_metadata()
+            self.forced_gc_count += 1
+            self._serialization_epoch = 1
+        return self._serialization_epoch
+
+    # -- layout constants ----------------------------------------------------------
+
+    @property
+    def header_bytes(self) -> int:
+        return 24 if self.cereal_extension else 16
+
+    @property
+    def header_slots(self) -> int:
+        return self.header_bytes // SLOT_BYTES
+
+    # -- allocation ------------------------------------------------------------------
+
+    def allocate(self, klass: Klass, length: int = 0) -> "HeapObject":
+        """Allocate and zero-initialize an object of ``klass``.
+
+        ``length`` is required (and only meaningful) for array klasses.
+        """
+        if klass.metaspace_address is None:
+            self.registry.register(klass)
+        if klass.is_array:
+            if length < 0:
+                raise HeapError(f"array length must be non-negative, got {length}")
+        elif length:
+            raise HeapError("length is only valid for array klasses")
+
+        slots = klass.instance_slots(length)
+        size = self.header_bytes + slots * SLOT_BYTES
+        address = self._alloc_ptr
+        if address + size > self.memory.size_bytes:
+            raise HeapError(
+                f"heap exhausted allocating {size} bytes at {address:#x}"
+            )
+        self._alloc_ptr += size
+
+        self.memory.fill(address, size, 0)
+        mark = MarkWord(identity_hash=identity_hash_for(address))
+        self.memory.write_u64(address, mark.encode())
+        assert klass.metaspace_address is not None
+        self.memory.write_u64(address + 8, klass.metaspace_address)
+
+        obj = HeapObject(self, address, klass, length)
+        if klass.is_array:
+            # Array length lives in the first field slot.
+            self.memory.write_u64(address + self.header_bytes, length)
+        self._objects[address] = obj
+        self._alloc_order.append(address)
+        return obj
+
+    def new_instance(self, klass_name: str) -> "HeapObject":
+        """Allocate an instance of an already-registered class by name."""
+        return self.allocate(self.registry.by_name(klass_name))
+
+    def new_array(self, element_kind: FieldKind, length: int) -> "HeapObject":
+        """Allocate an array of ``length`` elements of ``element_kind``."""
+        return self.allocate(self.registry.array_klass(element_kind), length)
+
+    def reserve(self, num_bytes: int) -> int:
+        """Reserve a raw region for a copy-based deserializer (Skyway/Cereal).
+
+        The caller writes complete object images (headers included) into the
+        region and then registers each object with :meth:`register_object`.
+        Returns the region's base address.
+        """
+        if num_bytes <= 0:
+            raise HeapError(f"reserve needs a positive size, got {num_bytes}")
+        address = self._alloc_ptr
+        if address + num_bytes > self.memory.size_bytes:
+            raise HeapError(f"heap exhausted reserving {num_bytes} bytes")
+        self._alloc_ptr += num_bytes
+        return address
+
+    def register_object(
+        self, address: int, klass: Klass, length: int = 0
+    ) -> "HeapObject":
+        """Adopt an object image written into a reserved region."""
+        if address in self._objects:
+            raise HeapError(f"object already registered at {address:#x}")
+        if klass.metaspace_address is None:
+            self.registry.register(klass)
+        obj = HeapObject(self, address, klass, length)
+        self._objects[address] = obj
+        self._alloc_order.append(address)
+        return obj
+
+    # -- object resolution -------------------------------------------------------------
+
+    def object_at(self, address: int) -> "HeapObject":
+        """Resolve a heap address to its object handle."""
+        try:
+            return self._objects[address]
+        except KeyError:
+            raise HeapError(f"no object at address {address:#x}") from None
+
+    def deref(self, address: int) -> Optional["HeapObject"]:
+        """Like :meth:`object_at` but maps the null address to ``None``."""
+        if address == NULL_ADDRESS:
+            return None
+        return self.object_at(address)
+
+    def objects(self) -> Iterator["HeapObject"]:
+        """All live objects in allocation order (heap-walk order)."""
+        for address in self._alloc_order:
+            yield self._objects[address]
+
+    @property
+    def used_bytes(self) -> int:
+        return self._alloc_ptr - HEAP_BASE
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+
+class HeapObject:
+    """Handle to one object on the simulated heap.
+
+    All accessors read and write the backing :class:`MemorySpace`; the handle
+    itself stores only the address, klass, and (for arrays) the length — just
+    like a real reference.
+    """
+
+    __slots__ = ("heap", "address", "klass", "length")
+
+    def __init__(self, heap: Heap, address: int, klass: Klass, length: int = 0):
+        self.heap = heap
+        self.address = address
+        self.klass = klass
+        self.length = length
+
+    # -- geometry ---------------------------------------------------------------------
+
+    @property
+    def field_slots(self) -> int:
+        return self.klass.instance_slots(self.length)
+
+    @property
+    def total_slots(self) -> int:
+        return self.heap.header_slots + self.field_slots
+
+    @property
+    def size_bytes(self) -> int:
+        return self.total_slots * SLOT_BYTES
+
+    @property
+    def fields_base(self) -> int:
+        return self.address + self.heap.header_bytes
+
+    def slot_address(self, slot_index: int) -> int:
+        """Heap address of field slot ``slot_index`` (0-based after header)."""
+        if not 0 <= slot_index < self.field_slots:
+            raise HeapError(
+                f"slot {slot_index} out of range for {self.klass.name} "
+                f"with {self.field_slots} slots"
+            )
+        return self.fields_base + slot_index * SLOT_BYTES
+
+    # -- header -----------------------------------------------------------------------
+
+    @property
+    def mark_word(self) -> MarkWord:
+        return MarkWord.decode(self.heap.memory.read_u64(self.address))
+
+    @mark_word.setter
+    def mark_word(self, value: MarkWord) -> None:
+        self.heap.memory.write_u64(self.address, value.encode())
+
+    @property
+    def identity_hash(self) -> int:
+        return self.mark_word.identity_hash
+
+    @property
+    def klass_pointer(self) -> int:
+        return self.heap.memory.read_u64(self.address + 8)
+
+    # -- Cereal header extension (Section V-E) -------------------------------------------
+
+    def _extension_address(self) -> int:
+        if not self.heap.cereal_extension:
+            raise HeapError("heap was created without the Cereal header extension")
+        return self.address + 16
+
+    @property
+    def serialization_counter(self) -> int:
+        word = self.heap.memory.read_u64(self._extension_address())
+        return word & _COUNTER_MASK
+
+    @serialization_counter.setter
+    def serialization_counter(self, value: int) -> None:
+        if not 0 <= value <= _COUNTER_MASK:
+            raise HeapError(f"serialization counter out of 16-bit range: {value}")
+        addr = self._extension_address()
+        word = self.heap.memory.read_u64(addr)
+        self.heap.memory.write_u64(addr, (word & ~_COUNTER_MASK) | value)
+
+    @property
+    def serialization_unit_id(self) -> int:
+        word = self.heap.memory.read_u64(self._extension_address())
+        return (word >> _UNIT_SHIFT) & _UNIT_MASK
+
+    @serialization_unit_id.setter
+    def serialization_unit_id(self, value: int) -> None:
+        if not 0 <= value <= _UNIT_MASK:
+            raise HeapError(f"unit ID out of 8-bit range: {value}")
+        addr = self._extension_address()
+        word = self.heap.memory.read_u64(addr)
+        word = (word & ~(_UNIT_MASK << _UNIT_SHIFT)) | (value << _UNIT_SHIFT)
+        self.heap.memory.write_u64(addr, word)
+
+    @property
+    def serialized_relative_address(self) -> int:
+        word = self.heap.memory.read_u64(self._extension_address())
+        return (word >> _RELADDR_SHIFT) & _RELADDR_MASK
+
+    @serialized_relative_address.setter
+    def serialized_relative_address(self, value: int) -> None:
+        if not 0 <= value <= _RELADDR_MASK:
+            raise HeapError(f"relative address out of 32-bit range: {value}")
+        addr = self._extension_address()
+        word = self.heap.memory.read_u64(addr)
+        word = (word & ~(_RELADDR_MASK << _RELADDR_SHIFT)) | (value << _RELADDR_SHIFT)
+        self.heap.memory.write_u64(addr, word)
+
+    def clear_serialization_metadata(self) -> None:
+        """GC-time reset of the extension word (Section V-E)."""
+        self.heap.memory.write_u64(self._extension_address(), 0)
+
+    # -- typed slot access ------------------------------------------------------------------
+
+    def _read_slot(self, slot_index: int, kind: FieldKind) -> FieldValue:
+        address = self.slot_address(slot_index)
+        memory = self.heap.memory
+        if kind is FieldKind.REFERENCE:
+            return self.heap.deref(memory.read_u64(address))
+        if kind is FieldKind.DOUBLE or kind is FieldKind.FLOAT:
+            return memory.read_f64(address)
+        if kind is FieldKind.BOOLEAN:
+            return bool(memory.read_u64(address))
+        if kind is FieldKind.CHAR:
+            return memory.read_u64(address) & 0xFFFF
+        return memory.read_i64(address)
+
+    def _write_slot(self, slot_index: int, kind: FieldKind, value: FieldValue) -> None:
+        address = self.slot_address(slot_index)
+        memory = self.heap.memory
+        if kind is FieldKind.REFERENCE:
+            if value is None:
+                memory.write_u64(address, NULL_ADDRESS)
+            elif isinstance(value, HeapObject):
+                memory.write_u64(address, value.address)
+            else:
+                raise HeapError(
+                    f"reference slot needs HeapObject or None, got {type(value).__name__}"
+                )
+        elif kind is FieldKind.DOUBLE or kind is FieldKind.FLOAT:
+            memory.write_f64(address, float(value))  # type: ignore[arg-type]
+        elif kind is FieldKind.BOOLEAN:
+            memory.write_u64(address, 1 if value else 0)
+        elif kind is FieldKind.CHAR:
+            memory.write_u64(address, int(value) & 0xFFFF)  # type: ignore[arg-type]
+        else:
+            memory.write_i64(address, int(value))  # type: ignore[arg-type]
+
+    # -- named field access (instances) --------------------------------------------------------
+
+    def _instance_klass(self) -> InstanceKlass:
+        if not isinstance(self.klass, InstanceKlass):
+            raise HeapError(f"{self.klass.name} is not an instance class")
+        return self.klass
+
+    def get(self, field_name: str) -> FieldValue:
+        klass = self._instance_klass()
+        index = klass.field_index(field_name)
+        return self._read_slot(index, klass.fields[index].kind)
+
+    def set(self, field_name: str, value: FieldValue) -> None:
+        klass = self._instance_klass()
+        index = klass.field_index(field_name)
+        self._write_slot(index, klass.fields[index].kind, value)
+
+    # -- element access (arrays) -------------------------------------------------------------
+
+    def _array_klass(self) -> ArrayKlass:
+        if not isinstance(self.klass, ArrayKlass):
+            raise HeapError(f"{self.klass.name} is not an array class")
+        return self.klass
+
+    def _element_address(self, klass: ArrayKlass, index: int) -> int:
+        """Address of a packed primitive element (natural-width storage)."""
+        return self.fields_base + SLOT_BYTES + index * klass.element_width
+
+    def get_element(self, index: int) -> FieldValue:
+        klass = self._array_klass()
+        if not 0 <= index < self.length:
+            raise HeapError(f"array index {index} out of range [0, {self.length})")
+        kind = klass.element_kind
+        if kind is FieldKind.REFERENCE:
+            return self._read_slot(1 + index, kind)
+        address = self._element_address(klass, index)
+        memory = self.heap.memory
+        if kind is FieldKind.BOOLEAN:
+            return bool(memory.read_u8(address))
+        if kind is FieldKind.BYTE:
+            raw = memory.read_u8(address)
+            return raw - 256 if raw >= 128 else raw
+        if kind is FieldKind.CHAR:
+            return memory.read_u16(address)
+        if kind is FieldKind.SHORT:
+            raw = memory.read_u16(address)
+            return raw - 65536 if raw >= 32768 else raw
+        if kind is FieldKind.INT:
+            return memory.read_i32(address)
+        if kind is FieldKind.FLOAT:
+            return memory.read_f32(address)
+        if kind is FieldKind.DOUBLE:
+            return memory.read_f64(address)
+        return memory.read_i64(address)  # LONG
+
+    def set_element(self, index: int, value: FieldValue) -> None:
+        klass = self._array_klass()
+        if not 0 <= index < self.length:
+            raise HeapError(f"array index {index} out of range [0, {self.length})")
+        kind = klass.element_kind
+        if kind is FieldKind.REFERENCE:
+            self._write_slot(1 + index, kind, value)
+            return
+        address = self._element_address(klass, index)
+        memory = self.heap.memory
+        if kind is FieldKind.BOOLEAN:
+            memory.write_u8(address, 1 if value else 0)
+        elif kind is FieldKind.BYTE:
+            memory.write_u8(address, int(value) & 0xFF)  # type: ignore[arg-type]
+        elif kind in (FieldKind.CHAR, FieldKind.SHORT):
+            memory.write_u16(address, int(value) & 0xFFFF)  # type: ignore[arg-type]
+        elif kind is FieldKind.INT:
+            memory.write_i32(address, int(value))  # type: ignore[arg-type]
+        elif kind is FieldKind.FLOAT:
+            memory.write_f32(address, float(value))  # type: ignore[arg-type]
+        elif kind is FieldKind.DOUBLE:
+            memory.write_f64(address, float(value))  # type: ignore[arg-type]
+        else:  # LONG
+            memory.write_i64(address, int(value))  # type: ignore[arg-type]
+
+    # -- reference enumeration (what serializers traverse) ------------------------------------
+
+    def reference_slots(self) -> List[int]:
+        """Field-slot indices holding references (from the klass layout)."""
+        return self.klass.reference_slot_indices(self.length)
+
+    def referenced_objects(self) -> List[Optional["HeapObject"]]:
+        """Children in slot order, ``None`` for null references."""
+        memory = self.heap.memory
+        out: List[Optional[HeapObject]] = []
+        for slot in self.reference_slots():
+            out.append(self.heap.deref(memory.read_u64(self.slot_address(slot))))
+        return out
+
+    # -- layout bitmap (paper Figure 4) ----------------------------------------------------------
+
+    def layout_bitmap(self) -> List[int]:
+        """One bit per 8 B slot of the whole object, header included.
+
+        A set bit marks a reference slot; header slots and value slots are
+        zero. The object's size is recoverable as ``len(bitmap) * 8``.
+        """
+        bitmap = [0] * self.total_slots
+        header_slots = self.heap.header_slots
+        for slot in self.reference_slots():
+            bitmap[header_slots + slot] = 1
+        return bitmap
+
+    def raw_bytes(self) -> bytes:
+        """The object's raw memory image (header + all slots)."""
+        return self.heap.memory.read(self.address, self.size_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f"[{self.length}]" if self.klass.is_array else ""
+        return f"<{self.klass.name}{suffix} @ {self.address:#x}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HeapObject)
+            and other.heap is self.heap
+            and other.address == self.address
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.heap), self.address))

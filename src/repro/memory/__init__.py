@@ -1,0 +1,14 @@
+"""Simulated physical memory: byte-addressable space and DDR4 timing model."""
+
+from repro.memory.space import MemorySpace
+from repro.memory.trace import AccessKind, MemoryAccess, MemoryTrace
+from repro.memory.dram import DRAMModel, DRAMStats
+
+__all__ = [
+    "MemorySpace",
+    "AccessKind",
+    "MemoryAccess",
+    "MemoryTrace",
+    "DRAMModel",
+    "DRAMStats",
+]

@@ -1,0 +1,187 @@
+"""DDR4 memory timing model (Table I).
+
+The model captures the two first-order DRAM properties the paper's results
+depend on:
+
+* **Zero-load latency** — every access pays a fixed 40 ns pipe latency.
+* **Per-channel bandwidth** — each of the four channels sustains 19.2 GB/s;
+  a 64 B line therefore occupies its channel for ``64 / 19.2e9`` seconds.
+
+Addresses are interleaved across channels at line granularity, as in real
+controllers, so sequential streams use all channels while a pathological
+stride could hammer one. Each channel is modelled as a single server with a
+"next free" time; an access's completion time is
+
+    max(issue_time, channel_free) + occupancy + zero_load_latency
+
+which reproduces both the unloaded latency and the bandwidth ceiling that
+the accelerator saturates (Figures 11 and 15).
+
+One deliberate simplification: each channel tracks a single ``next free``
+time, so an access issued with an *earlier* timestamp than a previously
+scheduled one queues behind it rather than slotting into an earlier gap.
+For the accelerator this acts as a simple shared-bus contention model
+between concurrently active requesters (the DU's three read streams and
+its write-back traffic); the resulting per-DU block rate (~25 ns/block)
+matches what the paper's Figure 10 deserialization speedups imply.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.config import DRAMConfig
+from repro.common.errors import SimulationError
+
+
+@dataclass
+class DRAMStats:
+    """Aggregate counters for one simulation run."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+    accesses: int = 0
+    busy_time_ns: float = 0.0  # sum of channel occupancy
+    last_completion_ns: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def bandwidth_utilization(self, elapsed_ns: float, config: DRAMConfig) -> float:
+        """Fraction of peak bandwidth used over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        achieved = self.total_bytes / (elapsed_ns * 1e-9)
+        return achieved / config.peak_bandwidth_bytes_per_sec
+
+
+class _IntervalChannel:
+    """A channel schedule that admits out-of-order issue (first fit).
+
+    Used by the device simulator, where several units' operations are
+    simulated one after another but overlap in *simulated* time: an access
+    issued "in the past" relative to already-scheduled traffic slots into
+    the earliest sufficiently large gap instead of queuing at the tail.
+    """
+
+    def __init__(self) -> None:
+        self._starts: List[float] = []
+        self._intervals: List[Tuple[float, float]] = []
+
+    def schedule(self, issue_ns: float, occupancy_ns: float) -> float:
+        """Reserve ``occupancy_ns`` at/after ``issue_ns``; returns start."""
+        candidate = issue_ns
+        index = bisect.bisect_left(self._starts, candidate)
+        # The previous interval may still cover the candidate time.
+        if index > 0 and self._intervals[index - 1][1] > candidate:
+            candidate = self._intervals[index - 1][1]
+        while index < len(self._intervals):
+            start, end = self._intervals[index]
+            if start - candidate >= occupancy_ns:
+                break
+            candidate = max(candidate, end)
+            index += 1
+        self._starts.insert(index, candidate)
+        self._intervals.insert(index, (candidate, candidate + occupancy_ns))
+        return candidate
+
+
+class DRAMModel:
+    """Channel-interleaved, bandwidth-limited DRAM with fixed base latency.
+
+    ``out_of_order=True`` replaces the scalar per-channel "next free" time
+    with an interval schedule so accesses issued with earlier timestamps
+    than already-scheduled traffic can use earlier channel gaps — required
+    when independently-timed operations share one memory system (see
+    :mod:`repro.cereal.device_sim`).
+    """
+
+    def __init__(
+        self, config: DRAMConfig | None = None, out_of_order: bool = False
+    ):
+        self.config = config or DRAMConfig()
+        self.out_of_order = out_of_order
+        self._channel_free_ns: List[float] = [0.0] * self.config.channels
+        self._interval_channels: Optional[List[_IntervalChannel]] = (
+            [_IntervalChannel() for _ in range(self.config.channels)]
+            if out_of_order
+            else None
+        )
+        self.stats = DRAMStats()
+
+    def reset(self) -> None:
+        self._channel_free_ns = [0.0] * self.config.channels
+        if self.out_of_order:
+            self._interval_channels = [
+                _IntervalChannel() for _ in range(self.config.channels)
+            ]
+        self.stats = DRAMStats()
+
+    # -- address mapping ---------------------------------------------------------
+
+    def channel_of(self, address: int) -> int:
+        """Line-interleaved channel mapping."""
+        line = address // self.config.access_granularity_bytes
+        return line % self.config.channels
+
+    def occupancy_ns(self, length: int) -> float:
+        """Channel busy time to move ``length`` bytes."""
+        return length / self.config.channel_bandwidth_bytes_per_sec * 1e9
+
+    # -- timing ---------------------------------------------------------------------
+
+    def access(
+        self, issue_ns: float, address: int, length: int, is_write: bool
+    ) -> float:
+        """Issue one access; returns its completion time in nanoseconds.
+
+        ``length`` is typically one access granule (64 B); longer accesses are
+        allowed and simply occupy the channel proportionally longer.
+        """
+        if length <= 0:
+            raise SimulationError(f"access length must be positive, got {length}")
+        if issue_ns < 0:
+            raise SimulationError(f"issue time must be non-negative, got {issue_ns}")
+        channel = self.channel_of(address)
+        occupancy = self.occupancy_ns(length)
+        if self._interval_channels is not None:
+            start = self._interval_channels[channel].schedule(issue_ns, occupancy)
+        else:
+            start = max(issue_ns, self._channel_free_ns[channel])
+            self._channel_free_ns[channel] = start + occupancy
+        completion = start + occupancy + self.config.zero_load_latency_ns
+
+        self.stats.accesses += 1
+        self.stats.busy_time_ns += occupancy
+        if is_write:
+            self.stats.write_bytes += length
+        else:
+            self.stats.read_bytes += length
+        self.stats.last_completion_ns = max(self.stats.last_completion_ns, completion)
+        return completion
+
+    # -- analytical helpers ------------------------------------------------------------
+
+    def stream_time_ns(self, total_bytes: int, outstanding: int = 16) -> float:
+        """Closed-form time to move ``total_bytes`` with ``outstanding`` requests.
+
+        Used by analytical cost models (e.g. the CPU serializer model) that do
+        not simulate individual accesses. With ``outstanding`` overlapped
+        requests, effective throughput is limited either by bandwidth or by
+        latency divided by the overlap factor:
+
+            per_line = max(occupancy_all_channels, zero_load / outstanding)
+        """
+        if total_bytes <= 0:
+            return 0.0
+        if outstanding <= 0:
+            raise SimulationError("outstanding must be positive")
+        line = self.config.access_granularity_bytes
+        lines = (total_bytes + line - 1) // line
+        bandwidth_limited = line / self.config.peak_bandwidth_bytes_per_sec * 1e9
+        latency_limited = self.config.zero_load_latency_ns / outstanding
+        per_line = max(bandwidth_limited, latency_limited)
+        return lines * per_line + self.config.zero_load_latency_ns

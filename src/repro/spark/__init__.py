@@ -1,0 +1,30 @@
+"""Mini-Spark: the data analytics substrate the paper evaluates on.
+
+A deliberately small but real dataflow engine over the simulated JVM heap:
+partitioned datasets of heap objects, eager narrow transformations, wide
+shuffles that *actually serialize* the partition contents through whichever
+S/D backend is configured (Java S/D, Kryo, Skyway, or the Cereal
+accelerator), serialized in-memory caching, and driver collects. Every run
+produces a :class:`~repro.spark.metrics.TimeBreakdown` (compute / GC / IO /
+S/D) matching the paper's Figure 2 decomposition.
+
+Applications (paper Table III) live in :mod:`repro.spark.apps`.
+"""
+
+from repro.spark.metrics import SDOperation, TimeBreakdown
+from repro.spark.backend import (
+    CerealBackend,
+    SDBackend,
+    SoftwareBackend,
+)
+from repro.spark.engine import MiniSparkContext, PartitionedDataset
+
+__all__ = [
+    "TimeBreakdown",
+    "SDOperation",
+    "SDBackend",
+    "SoftwareBackend",
+    "CerealBackend",
+    "MiniSparkContext",
+    "PartitionedDataset",
+]

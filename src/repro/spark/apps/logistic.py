@@ -1,0 +1,74 @@
+"""Logistic Regression training (HiBench LR).
+
+Structurally like SVM — cached ``MEMORY_ONLY_SER`` training data read once
+per iteration — but with the largest input of the ML apps (Table III:
+1945 MB), a heavier per-point kernel (sigmoid + full gradient), and fewer
+iterations, so S/D is a large-but-not-total share of runtime (Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.jvm.klass import FieldKind
+from repro.spark.apps.base import (
+    AppResult,
+    ensure_klass,
+    make_context,
+    new_double_array,
+    register_backend_classes,
+)
+from repro.spark.backend import SDBackend
+from repro.workloads.datagen import DeterministicRandom
+
+_POINTS = 1400
+_PARTITIONS = 4
+_FEATURES = 20
+_ITERATIONS = 6
+# Sigmoid (exp) + dense gradient: substantially heavier than SVM's hinge.
+_GRADIENT_INSTR_PER_POINT = 950_000.0
+
+
+def run_logistic_regression(backend: SDBackend, scale: float = 1.0) -> AppResult:
+    context = make_context(backend)
+    registry = context.registry
+    point_klass = ensure_klass(
+        registry,
+        "LabeledPoint",
+        [("label", FieldKind.DOUBLE), ("features", FieldKind.REFERENCE)],
+    )
+    registry.array_klass(FieldKind.DOUBLE)
+    registry.array_klass(FieldKind.REFERENCE)
+    register_backend_classes(backend, registry)
+
+    rng = DeterministicRandom(seed=0x10B1)
+    count = max(_PARTITIONS, int(_POINTS * scale))
+    heap = context.executor_heap
+
+    context.read_input(75e6)  # text input (Table III: 1945 MB, scaled)
+    points = []
+    for _ in range(count):
+        point = heap.allocate(point_klass)
+        point.set("label", 1.0 if rng.random() > 0.5 else 0.0)
+        point.set("features", new_double_array(heap, rng, _FEATURES))
+        points.append(point)
+    dataset = context.parallelize(points, _PARTITIONS)
+    dataset.foreach_compute(12_000.0)
+
+    cached = dataset.cache_serialized()
+    weights = new_double_array(heap, rng, _FEATURES)
+    for _ in range(_ITERATIONS):
+        context.broadcast(weights, _PARTITIONS)  # current model to executors
+        training = cached.read()
+        training.foreach_compute(_GRADIENT_INSTR_PER_POINT)
+        gradients = [
+            new_double_array(heap, rng, _FEATURES)
+            for _ in range(training.num_partitions)
+        ]
+        context.parallelize(gradients, training.num_partitions).collect()
+        context.account_compute(_FEATURES * 40.0)
+
+    return AppResult(
+        name="lr",
+        backend_name=backend.name,
+        breakdown=context.breakdown,
+        records=count,
+    )

@@ -1,0 +1,79 @@
+"""Support Vector Machine training (HiBench SVM).
+
+The suite's most S/D-bound application (paper Figure 2: up to 90.9% of
+runtime with Java S/D). The training set is cached with Spark's
+``MEMORY_ONLY_SER`` storage level, so *every* gradient iteration pays a
+full deserialization of the cached points, plus a small collect of the
+partial gradients — while the per-point hinge-gradient compute is only a
+handful of FLOPs. Iterating many times turns the run into almost pure
+deserialization.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.klass import FieldKind
+from repro.spark.apps.base import (
+    AppResult,
+    ensure_klass,
+    make_context,
+    new_double_array,
+    register_backend_classes,
+)
+from repro.spark.backend import SDBackend
+from repro.workloads.datagen import DeterministicRandom
+
+_POINTS = 1200
+_PARTITIONS = 4
+_FEATURES = 16
+_ITERATIONS = 12
+# Hinge gradient over the full-scale point block each scaled point stands
+# for (calibrated against Figure 2's 90.9% S/D share: compute is tiny).
+_GRADIENT_INSTR_PER_POINT = 20_000.0
+
+
+def run_svm(backend: SDBackend, scale: float = 1.0) -> AppResult:
+    context = make_context(backend)
+    registry = context.registry
+    point_klass = ensure_klass(
+        registry,
+        "LabeledPoint",
+        [("label", FieldKind.DOUBLE), ("features", FieldKind.REFERENCE)],
+    )
+    registry.array_klass(FieldKind.DOUBLE)
+    registry.array_klass(FieldKind.REFERENCE)
+    register_backend_classes(backend, registry)
+
+    rng = DeterministicRandom(seed=0x5117)
+    count = max(_PARTITIONS, int(_POINTS * scale))
+    heap = context.executor_heap
+
+    context.read_input(10e6)  # libsvm text input (Table III: 1740 MB, scaled)
+    points = []
+    for _ in range(count):
+        point = heap.allocate(point_klass)
+        point.set("label", 1.0 if rng.random() > 0.5 else -1.0)
+        point.set("features", new_double_array(heap, rng, _FEATURES))
+        points.append(point)
+    dataset = context.parallelize(points, _PARTITIONS)
+    dataset.foreach_compute(9_000.0)  # parsing
+
+    cached = dataset.cache_serialized()
+    weights = new_double_array(heap, rng, _FEATURES)
+
+    for _ in range(_ITERATIONS):
+        context.broadcast(weights, _PARTITIONS)  # current model to executors
+        training = cached.read()  # MEMORY_ONLY_SER: deserialize everything
+        training.foreach_compute(_GRADIENT_INSTR_PER_POINT)
+        # Partial gradients (one dense vector per partition) to the driver.
+        gradients = []
+        for _ in range(training.num_partitions):
+            gradients.append(new_double_array(heap, rng, _FEATURES))
+        context.parallelize(gradients, training.num_partitions).collect()
+        context.account_compute(_FEATURES * 40.0)  # driver-side update
+
+    return AppResult(
+        name="svm",
+        backend_name=backend.name,
+        breakdown=context.breakdown,
+        records=count,
+    )

@@ -1,0 +1,290 @@
+"""Mini-Spark execution engine.
+
+Supports exactly the dataflow shapes the six HiBench-style applications
+need, with faithful S/D call sites (paper Section III lists them):
+
+* ``parallelize`` / ``read_input`` — dataset creation and HDFS-style input
+  I/O accounting;
+* ``map_partitions`` — narrow transformations with explicit per-record
+  compute cost;
+* ``shuffle`` — the wide dependency: every (source partition, target
+  partition) bucket is wrapped in a reference array and pushed through the
+  configured S/D backend, once on the map side (serialize) and once on the
+  reduce side (deserialize);
+* ``cache_serialized`` / ``CachedDataset.read`` — Spark's
+  ``MEMORY_ONLY_SER`` storage level: serialize once, pay a deserialization
+  on *every* read (this is what makes iterative ML apps S/D-bound, SVM
+  most of all — paper Figure 2);
+* ``collect`` — driver-side aggregation (serialize at executors,
+  deserialize at the driver).
+
+GC time is modelled as a copying-collector cost proportional to bytes
+allocated; I/O as disk-bandwidth transfers. Compute uses a higher IPC than
+S/D code: user numeric kernels pipeline well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.formats.base import SerializedStream
+from repro.jvm.heap import Heap, HeapObject
+from repro.jvm.klass import FieldKind, KlassRegistry
+from repro.spark.backend import SDBackend
+from repro.spark.metrics import TimeBreakdown
+
+_COMPUTE_IPC = 2.5  # user numeric code pipelines better than S/D code
+_CLOCK_GHZ = 3.6
+_DISK_BANDWIDTH = 500e6  # B/s HDFS-style sequential I/O
+_GC_NS_PER_BYTE = 8.0  # copying-collector cost per allocated byte at this
+# scale: each scaled allocation stands in for the full-scale app's nursery
+# churn (calibrated against Figure 2's GC share)
+
+
+class MiniSparkContext:
+    """One application run: heaps, backend, and the time ledger."""
+
+    def __init__(
+        self,
+        backend: SDBackend,
+        registry: Optional[KlassRegistry] = None,
+        heap_bytes: int = 512 * 1024 * 1024,
+    ):
+        self.backend = backend
+        self.registry = registry if registry is not None else KlassRegistry()
+        self.executor_heap = Heap(size_bytes=heap_bytes, registry=self.registry)
+        self.driver_heap = Heap(size_bytes=heap_bytes // 4, registry=self.registry)
+        self.breakdown = TimeBreakdown()
+        self._last_alloc_mark = 0
+
+    # -- time accounting -------------------------------------------------------------
+
+    def account_compute(self, instructions: float) -> None:
+        self.breakdown.compute_ns += instructions / (_COMPUTE_IPC * _CLOCK_GHZ)
+
+    def account_io(self, nbytes: float) -> None:
+        self.breakdown.io_ns += nbytes / _DISK_BANDWIDTH * 1e9
+
+    def _account_gc(self) -> None:
+        """Charge GC for heap growth since the last mark."""
+        used = self.executor_heap.used_bytes + self.driver_heap.used_bytes
+        grown = used - self._last_alloc_mark
+        if grown > 0:
+            self.breakdown.gc_ns += grown * _GC_NS_PER_BYTE
+        self._last_alloc_mark = used
+
+    # -- S/D plumbing -------------------------------------------------------------------
+
+    def _wrap_records(self, records: Sequence[HeapObject], heap: Heap) -> HeapObject:
+        """Wrap a record bucket in a reference array so it has one root."""
+        array = heap.new_array(FieldKind.REFERENCE, len(records))
+        for index, record in enumerate(records):
+            array.set_element(index, record)
+        return array
+
+    def _unwrap_records(self, root: HeapObject) -> List[HeapObject]:
+        return [
+            root.get_element(index)
+            for index in range(root.length)
+            if root.get_element(index) is not None
+        ]
+
+    def serialize_bucket(
+        self, records: Sequence[HeapObject], site: str
+    ) -> SerializedStream:
+        root = self._wrap_records(records, self.executor_heap)
+        stream, op = self.backend.serialize(root, site)
+        self.breakdown.add_operation(op)
+        self._account_gc()
+        return stream
+
+    def deserialize_bucket(
+        self, stream: SerializedStream, site: str, heap: Optional[Heap] = None
+    ) -> List[HeapObject]:
+        heap = heap or self.executor_heap
+        root, op = self.backend.deserialize(stream, heap, site)
+        self.breakdown.add_operation(op)
+        self._account_gc()
+        return self._unwrap_records(root)
+
+    # -- dataset creation ------------------------------------------------------------------
+
+    def read_input(self, nbytes: float) -> None:
+        """HDFS input read (pure I/O; record parsing is app compute)."""
+        self.account_io(nbytes)
+
+    def write_output(self, nbytes: float) -> None:
+        self.account_io(nbytes)
+
+    def broadcast(self, root: HeapObject, num_partitions: int) -> List[HeapObject]:
+        """Driver -> executors broadcast (e.g. the model weights each
+        iteration): serialize once at the driver, deserialize once per
+        executor partition. Returns the per-partition replicas."""
+        stream, op = self.backend.serialize(root, "broadcast")
+        self.breakdown.add_operation(op)
+        replicas = []
+        for _ in range(num_partitions):
+            replica, read_op = self.backend.deserialize(
+                stream, self.executor_heap, "broadcast"
+            )
+            self.breakdown.add_operation(read_op)
+            replicas.append(replica)
+        self._account_gc()
+        return replicas
+
+    def parallelize(
+        self, records: Sequence[HeapObject], num_partitions: int
+    ) -> "PartitionedDataset":
+        if num_partitions <= 0:
+            raise ConfigError("num_partitions must be positive")
+        partitions: List[List[HeapObject]] = [[] for _ in range(num_partitions)]
+        for index, record in enumerate(records):
+            partitions[index % num_partitions].append(record)
+        self._account_gc()
+        return PartitionedDataset(self, partitions)
+
+
+@dataclass
+class CachedDataset:
+    """Spark MEMORY_ONLY_SER cache: streams plus a memoized read cost.
+
+    The functional deserialization runs once; each subsequent ``read()``
+    charges the same modelled time/GC again (the JVM would rebuild the
+    objects every time) but reuses the materialized records, keeping the
+    Python run time linear.
+    """
+
+    context: MiniSparkContext
+    streams: List[SerializedStream]
+    _materialized: List[List[HeapObject]]
+    _read_ops: List  # SDOperation templates from the first read
+
+    def read(self) -> "PartitionedDataset":
+        from repro.spark.metrics import SDOperation
+
+        for template in self._read_ops:
+            self.context.breakdown.add_operation(
+                SDOperation(
+                    kind=template.kind,
+                    site=template.site,
+                    time_ns=template.time_ns,
+                    stream_bytes=template.stream_bytes,
+                    graph_bytes=template.graph_bytes,
+                    objects=template.objects,
+                    dram_bytes=template.dram_bytes,
+                )
+            )
+            # The rebuilt objects are fresh allocations the collector must
+            # eventually evacuate.
+            self.context.breakdown.gc_ns += template.graph_bytes * _GC_NS_PER_BYTE
+        return PartitionedDataset(self.context, [list(p) for p in self._materialized])
+
+
+class PartitionedDataset:
+    """An RDD-alike: a list of partitions of heap objects."""
+
+    def __init__(self, context: MiniSparkContext, partitions: List[List[HeapObject]]):
+        self.context = context
+        self.partitions = partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    # -- narrow ---------------------------------------------------------------------------
+
+    def map_partitions(
+        self,
+        fn: Callable[[List[HeapObject]], List[HeapObject]],
+        instructions_per_record: float = 0.0,
+    ) -> "PartitionedDataset":
+        out = []
+        for partition in self.partitions:
+            out.append(fn(partition))
+            self.context.account_compute(instructions_per_record * len(partition))
+        self.context._account_gc()
+        return PartitionedDataset(self.context, out)
+
+    def foreach_compute(self, instructions_per_record: float) -> None:
+        """Pure compute pass over every record (no new dataset)."""
+        self.context.account_compute(instructions_per_record * self.record_count)
+
+    # -- wide ------------------------------------------------------------------------------
+
+    def shuffle(
+        self,
+        key_fn: Callable[[HeapObject], int],
+        num_partitions: Optional[int] = None,
+        instructions_per_record: float = 40.0,
+    ) -> "PartitionedDataset":
+        """Hash-shuffle: serialize map-side buckets, deserialize reduce-side."""
+        num_partitions = num_partitions or self.num_partitions
+        buckets: Dict[int, List[List[HeapObject]]] = {
+            target: [] for target in range(num_partitions)
+        }
+        for partition in self.partitions:
+            grouped: Dict[int, List[HeapObject]] = {}
+            for record in partition:
+                target = key_fn(record) % num_partitions
+                grouped.setdefault(target, []).append(record)
+            self.context.account_compute(instructions_per_record * len(partition))
+            for target, records in grouped.items():
+                stream = self.context.serialize_bucket(records, site="shuffle")
+                buckets[target].append(stream)  # type: ignore[arg-type]
+
+        out: List[List[HeapObject]] = []
+        for target in range(num_partitions):
+            merged: List[HeapObject] = []
+            for stream in buckets[target]:
+                merged.extend(
+                    self.context.deserialize_bucket(stream, site="shuffle")
+                )
+            out.append(merged)
+        return PartitionedDataset(self.context, out)
+
+    # -- caching -------------------------------------------------------------------------------
+
+    def cache_serialized(self) -> CachedDataset:
+        """Serialize every partition (MEMORY_ONLY_SER) and pre-pay one read."""
+        streams = []
+        materialized = []
+        read_ops = []
+        for partition in self.partitions:
+            stream = self.context.serialize_bucket(partition, site="cache")
+            streams.append(stream)
+        for stream in streams:
+            root, op = self.context.backend.deserialize(
+                stream, self.context.executor_heap, "cache"
+            )
+            read_ops.append(op)
+            materialized.append(self.context._unwrap_records(root))
+        self.context._account_gc()
+        cached = CachedDataset(
+            context=self.context,
+            streams=streams,
+            _materialized=materialized,
+            _read_ops=read_ops,
+        )
+        return cached
+
+    # -- actions ----------------------------------------------------------------------------------
+
+    def collect(self) -> List[HeapObject]:
+        """Ship every partition to the driver through the backend."""
+        results: List[HeapObject] = []
+        for partition in self.partitions:
+            if not partition:
+                continue
+            stream = self.context.serialize_bucket(partition, site="collect")
+            results.extend(
+                self.context.deserialize_bucket(
+                    stream, site="collect", heap=self.context.driver_heap
+                )
+            )
+        return results

@@ -1,0 +1,31 @@
+"""Workload generators: microbenchmarks, JSBS objects, synthetic data."""
+
+from repro.workloads.micro import (
+    MICROBENCH_CONFIGS,
+    MicrobenchConfig,
+    build_graph_bench,
+    build_list_bench,
+    build_microbench,
+    build_tree_bench,
+)
+from repro.workloads.jsbs import (
+    JSBS_LIBRARY_PROFILES,
+    LibraryProfile,
+    build_media_content,
+    register_jsbs_klasses,
+)
+from repro.workloads.datagen import DeterministicRandom
+
+__all__ = [
+    "MicrobenchConfig",
+    "MICROBENCH_CONFIGS",
+    "build_microbench",
+    "build_tree_bench",
+    "build_list_bench",
+    "build_graph_bench",
+    "LibraryProfile",
+    "JSBS_LIBRARY_PROFILES",
+    "build_media_content",
+    "register_jsbs_klasses",
+    "DeterministicRandom",
+]

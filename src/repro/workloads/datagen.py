@@ -1,0 +1,73 @@
+"""Deterministic data generation helpers.
+
+All workloads must be reproducible run-to-run (the simulators are
+deterministic, so the inputs must be too). ``DeterministicRandom`` is a
+small xorshift* generator independent of Python's global RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeterministicRandom:
+    """xorshift64* PRNG with convenience draws."""
+
+    def __init__(self, seed: int = 0x1234_5678_9ABC_DEF1):
+        if seed == 0:
+            seed = 0xDEAD_BEEF_CAFE_F00D
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def gauss_like(self) -> float:
+        """Cheap approximately-normal draw (sum of three uniforms)."""
+        return (self.random() + self.random() + self.random()) / 1.5 - 1.0
+
+    def choice(self, items: Sequence):
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def sample_indices(self, population: int, count: int) -> List[int]:
+        """``count`` distinct indices from ``range(population)``."""
+        if count > population:
+            raise ValueError(f"cannot sample {count} from {population}")
+        if count > population // 2:
+            # Dense draw: partial Fisher-Yates over the full range.
+            pool = list(range(population))
+            for i in range(count):
+                j = self.randint(i, population - 1)
+                pool[i], pool[j] = pool[j], pool[i]
+            return pool[:count]
+        chosen = set()
+        out = []
+        while len(out) < count:
+            index = self.randint(0, population - 1)
+            if index not in chosen:
+                chosen.add(index)
+                out.append(index)
+        return out
+
+    def ascii_string(self, length: int) -> str:
+        letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+        return "".join(self.choice(letters) for _ in range(length))

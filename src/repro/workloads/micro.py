@@ -1,0 +1,243 @@
+"""Microbenchmarks: Tree, List, Graph (paper Figure 9, Table II).
+
+Table II's configurations, scaled down so the Python models run in seconds
+(scale factors recorded per config and used to shrink the host caches by
+the same ratio, keeping the footprint-vs-LLC regime of the paper):
+
+    Tree   narrow(leaf: 2, node: 2,097,150) / wide(leaf: 8, node: 19,173,960)
+    List   small(length: 524,288)           / large(length: 2,097,152)
+    Graph  sparse(node: 4,096, edge: 1)     / dense(node: 4,096, edge: 4,095)
+
+Shapes:
+
+* **Tree** — every node has ``leaf`` child references plus a small payload;
+  built level by level up to the node budget (Figure 9a).
+* **List** — singly-linked nodes with a payload (Figure 9b).
+* **Graph** — nodes with an adjacency *reference array* of ``edge`` targets
+  chosen deterministically; edges point at random earlier/later nodes so
+  the structure is a connected random digraph (Figure 9c). Dense graphs
+  re-reference already-visited nodes heavily, which is where Cereal's
+  reference packing wins on size (Table IV).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.common.errors import ConfigError
+from repro.jvm.heap import Heap, HeapObject
+from repro.jvm.klass import FieldDescriptor, FieldKind, InstanceKlass, KlassRegistry
+from repro.workloads.datagen import DeterministicRandom
+
+#: Scale factor relative to Table II (workload and host caches shrink alike).
+DEFAULT_SCALE = 1024
+_GRAPH_SCALE = 16  # graphs are denser; a milder shrink keeps enough edges
+
+
+@dataclass(frozen=True)
+class MicrobenchConfig:
+    """One microbenchmark instance: shape, paper size, scaled size."""
+
+    name: str  # e.g. "tree-narrow"
+    shape: str  # "tree" | "list" | "graph"
+    variant: str  # "narrow"/"wide"/"small"/"large"/"sparse"/"dense"
+    paper_objects: int
+    scale: int
+    fanout: int = 0  # tree leaf count / graph edges per node
+
+    @property
+    def scaled_objects(self) -> int:
+        return max(8, self.paper_objects // self.scale)
+
+
+MICROBENCH_CONFIGS: Dict[str, MicrobenchConfig] = {
+    "tree-narrow": MicrobenchConfig(
+        "tree-narrow", "tree", "narrow", 2_097_150, DEFAULT_SCALE, fanout=2
+    ),
+    "tree-wide": MicrobenchConfig(
+        "tree-wide", "tree", "wide", 19_173_960, DEFAULT_SCALE * 4, fanout=8
+    ),
+    "list-small": MicrobenchConfig(
+        "list-small", "list", "small", 524_288, DEFAULT_SCALE
+    ),
+    "list-large": MicrobenchConfig(
+        "list-large", "list", "large", 2_097_152, DEFAULT_SCALE
+    ),
+    "graph-sparse": MicrobenchConfig(
+        "graph-sparse", "graph", "sparse", 4_096, _GRAPH_SCALE, fanout=1
+    ),
+    "graph-dense": MicrobenchConfig(
+        "graph-dense", "graph", "dense", 4_096, _GRAPH_SCALE, fanout=255
+    ),
+}
+
+
+# -- klasses --------------------------------------------------------------------
+
+
+def register_micro_klasses(registry: KlassRegistry) -> None:
+    """Install the microbenchmark classes into a klass registry."""
+    if "TreeNode2" not in registry:
+        registry.register(
+            InstanceKlass(
+                "TreeNode2",
+                [
+                    FieldDescriptor("payload", FieldKind.LONG),
+                    FieldDescriptor("depth", FieldKind.INT),
+                    FieldDescriptor("left", FieldKind.REFERENCE),
+                    FieldDescriptor("right", FieldKind.REFERENCE),
+                ],
+            )
+        )
+    if "TreeNode8" not in registry:
+        fields = [
+            FieldDescriptor("payload", FieldKind.LONG),
+            FieldDescriptor("depth", FieldKind.INT),
+        ]
+        fields.extend(
+            FieldDescriptor(f"child{i}", FieldKind.REFERENCE) for i in range(8)
+        )
+        registry.register(InstanceKlass("TreeNode8", fields))
+    if "ListNode" not in registry:
+        registry.register(
+            InstanceKlass(
+                "ListNode",
+                [
+                    FieldDescriptor("value", FieldKind.LONG),
+                    FieldDescriptor("payload", FieldKind.DOUBLE),
+                    FieldDescriptor("next", FieldKind.REFERENCE),
+                ],
+            )
+        )
+    if "GraphNode" not in registry:
+        registry.register(
+            InstanceKlass(
+                "GraphNode",
+                [
+                    FieldDescriptor("node_id", FieldKind.LONG),
+                    FieldDescriptor("weight", FieldKind.DOUBLE),
+                    FieldDescriptor("adjacency", FieldKind.REFERENCE),
+                ],
+            )
+        )
+    registry.array_klass(FieldKind.REFERENCE)
+
+
+# -- builders ---------------------------------------------------------------------
+
+
+def build_tree_bench(heap: Heap, config: MicrobenchConfig) -> HeapObject:
+    """k-ary tree built level by level up to the scaled node budget."""
+    if config.shape != "tree":
+        raise ConfigError(f"{config.name} is not a tree config")
+    register_micro_klasses(heap.registry)
+    klass_name = f"TreeNode{config.fanout}"
+    budget = config.scaled_objects
+    rng = DeterministicRandom(seed=hash(config.name) & 0xFFFF_FFFF | 1)
+
+    def new_node(depth: int) -> HeapObject:
+        node = heap.new_instance(klass_name)
+        node.set("payload", rng.next_u64() >> 1)
+        node.set("depth", depth)
+        return node
+
+    root = new_node(0)
+    created = 1
+    frontier = deque([root])
+    child_fields = (
+        ["left", "right"]
+        if config.fanout == 2
+        else [f"child{i}" for i in range(config.fanout)]
+    )
+    while frontier and created < budget:
+        parent = frontier.popleft()
+        depth = parent.get("depth") + 1
+        for field_name in child_fields:
+            if created >= budget:
+                break
+            child = new_node(depth)
+            parent.set(field_name, child)
+            frontier.append(child)
+            created += 1
+    return root
+
+
+def build_list_bench(heap: Heap, config: MicrobenchConfig) -> HeapObject:
+    """Singly-linked list of the scaled length."""
+    if config.shape != "list":
+        raise ConfigError(f"{config.name} is not a list config")
+    register_micro_klasses(heap.registry)
+    rng = DeterministicRandom(seed=hash(config.name) & 0xFFFF_FFFF | 1)
+    length = config.scaled_objects
+    head = heap.new_instance("ListNode")
+    head.set("value", 0)
+    head.set("payload", rng.random())
+    current = head
+    for index in range(1, length):
+        node = heap.new_instance("ListNode")
+        node.set("value", index)
+        node.set("payload", rng.random())
+        current.set("next", node)
+        current = node
+    return head
+
+
+def build_graph_bench(heap: Heap, config: MicrobenchConfig) -> HeapObject:
+    """Connected random digraph: each node has ``fanout`` adjacency edges.
+
+    Node 0 is the root; every node i > 0 receives one guaranteed incoming
+    edge from an earlier node so the whole graph is reachable, matching the
+    paper's setup where one serialize call covers all nodes.
+    """
+    if config.shape != "graph":
+        raise ConfigError(f"{config.name} is not a graph config")
+    register_micro_klasses(heap.registry)
+    rng = DeterministicRandom(seed=hash(config.name) & 0xFFFF_FFFF | 1)
+    count = config.scaled_objects
+    fanout = min(config.fanout, count - 1)
+
+    nodes = []
+    for index in range(count):
+        node = heap.new_instance("GraphNode")
+        node.set("node_id", index)
+        node.set("weight", rng.random())
+        nodes.append(node)
+
+    # Guaranteed reachability edges: node i gets an edge from a random j < i.
+    incoming: Dict[int, List[int]] = {i: [] for i in range(count)}
+    for i in range(1, count):
+        j = rng.randint(0, i - 1)
+        incoming[j].append(i)
+
+    for i, node in enumerate(nodes):
+        required = incoming[i]
+        extra = max(0, fanout - len(required))
+        targets = list(required)
+        for _ in range(extra):
+            targets.append(rng.randint(0, count - 1))
+        adjacency = heap.new_array(FieldKind.REFERENCE, len(targets))
+        for slot, target in enumerate(targets):
+            adjacency.set_element(slot, nodes[target])
+        node.set("adjacency", adjacency)
+    return nodes[0]
+
+
+_BUILDERS: Dict[str, Callable[[Heap, MicrobenchConfig], HeapObject]] = {
+    "tree": build_tree_bench,
+    "list": build_list_bench,
+    "graph": build_graph_bench,
+}
+
+
+def build_microbench(heap: Heap, name: str) -> HeapObject:
+    """Build microbenchmark ``name`` (a key of MICROBENCH_CONFIGS)."""
+    try:
+        config = MICROBENCH_CONFIGS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown microbenchmark {name!r}; choose from "
+            f"{sorted(MICROBENCH_CONFIGS)}"
+        ) from None
+    return _BUILDERS[config.shape](heap, config)

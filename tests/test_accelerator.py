@@ -1,0 +1,238 @@
+"""Tests for the Cereal accelerator: SU/DU timing and the device façade."""
+
+import pytest
+
+from repro.common.config import CerealConfig
+from repro.common.errors import RegistrationError, SimulationError
+from repro.cereal import CerealAccelerator
+from repro.cereal.du import DUWorkload
+from repro.cereal.power import (
+    area_power_table,
+    cereal_area_mm2,
+    cereal_average_power_watts,
+    cereal_energy_joules,
+    cpu_energy_joules,
+    deserializer_power_watts,
+    serializer_power_watts,
+)
+from repro.formats import graphs_equivalent
+from repro.formats.cereal_format import CerealSerializer
+from repro.jvm import Heap
+from tests.test_serializers import build_shared, build_tree, make_registry
+
+
+@pytest.fixture
+def setup():
+    registry = make_registry()
+    accelerator = CerealAccelerator()
+    for klass in registry:
+        accelerator.register_class(klass)
+    sender = Heap(registry=registry)
+    receiver = Heap(registry=registry)
+    return registry, accelerator, sender, receiver
+
+
+class TestAcceleratorFunctional:
+    def test_round_trip_equivalence(self, setup):
+        _, accelerator, sender, receiver = setup
+        root = build_tree(sender, depth=6)
+        result, _, _ = accelerator.serialize(root)
+        rebuilt, _, _ = accelerator.deserialize(result.stream, receiver)
+        assert graphs_equivalent(root, rebuilt)
+
+    def test_shared_objects_preserved(self, setup):
+        _, accelerator, sender, receiver = setup
+        root = build_shared(sender)
+        result, _, _ = accelerator.serialize(root)
+        rebuilt, _, _ = accelerator.deserialize(result.stream, receiver)
+        assert rebuilt.get("left") == rebuilt.get("right")
+
+    def test_unregistered_class_rejected(self):
+        registry = make_registry()
+        accelerator = CerealAccelerator()  # nothing registered
+        heap = Heap(registry=registry)
+        root = build_tree(heap, depth=2)
+        with pytest.raises(RegistrationError):
+            accelerator.serialize(root)
+
+    def test_register_class_requires_metaspace_address(self):
+        from repro.jvm import InstanceKlass
+
+        accelerator = CerealAccelerator()
+        with pytest.raises(SimulationError):
+            accelerator.register_class(InstanceKlass("Unattached", []))
+
+
+class TestSerializationUnitTiming:
+    def test_elapsed_scales_with_objects(self, setup):
+        _, accelerator, sender, _ = setup
+        small = build_tree(sender, depth=4)  # 31 objects
+        large = build_tree(sender, depth=8)  # 511 objects
+        _, t_small, _ = accelerator.serialize(small)
+        _, t_large, _ = accelerator.serialize(large)
+        assert t_large.elapsed_ns > 8 * t_small.elapsed_ns
+
+    def test_su_result_accounting(self, setup):
+        _, accelerator, sender, _ = setup
+        root = build_tree(sender, depth=5)
+        _, timing, su = accelerator.serialize(root)
+        assert su.objects == 63
+        assert su.encounters == 63  # tree: no shared references
+        assert su.heap_bytes_read == 63 * root.size_bytes
+        assert timing.objects == 63
+
+    def test_shared_reference_extra_encounters(self, setup):
+        _, accelerator, sender, _ = setup
+        root = build_shared(sender)
+        _, _, su = accelerator.serialize(root)
+        assert su.objects == 2
+        assert su.encounters == 3  # shared child visited twice
+
+    def test_counter_dependency_costs_time(self, setup):
+        """The HM->OMM size-counter dependency must appear as stall time."""
+        _, accelerator, sender, _ = setup
+        root = build_tree(sender, depth=8)
+        _, _, su = accelerator.serialize(root)
+        assert su.stalls_on_counter_ns >= 0.0
+        # Per-object rate should sit near the header+metadata critical path.
+        per_object = (su.finish_ns - su.start_ns) / su.objects
+        assert 20.0 < per_object < 400.0
+
+    def test_vanilla_slower_than_pipelined(self, setup):
+        registry, accelerator, sender, _ = setup
+        root = build_tree(sender, depth=8)
+        _, pipelined, _ = accelerator.serialize(root)
+        vanilla_acc = CerealAccelerator(
+            CerealConfig().vanilla(), registration=accelerator.registration
+        )
+        _, vanilla, _ = vanilla_acc.serialize(root)
+        assert vanilla.elapsed_ns > pipelined.elapsed_ns
+
+
+class TestDeserializationUnitTiming:
+    def test_deserialize_faster_than_serialize(self, setup):
+        """Figure 10: the DU's sequential block pipeline beats the SU."""
+        _, accelerator, sender, receiver = setup
+        root = build_tree(sender, depth=8)
+        result, t_ser, _ = accelerator.serialize(root)
+        _, t_deser, _ = accelerator.deserialize(result.stream, receiver)
+        assert t_deser.elapsed_ns < t_ser.elapsed_ns
+
+    def test_deser_bandwidth_exceeds_ser(self, setup):
+        _, accelerator, sender, receiver = setup
+        root = build_tree(sender, depth=9)
+        result, t_ser, _ = accelerator.serialize(root)
+        _, t_deser, _ = accelerator.deserialize(result.stream, receiver)
+        assert t_deser.bandwidth_utilization > t_ser.bandwidth_utilization
+
+    def test_more_reconstructors_help(self, setup):
+        registry, accelerator, sender, _ = setup
+        root = build_tree(sender, depth=9)
+        result, _, _ = accelerator.serialize(root)
+        one = CerealAccelerator(
+            CerealConfig(block_reconstructors_per_du=1),
+            registration=accelerator.registration,
+        )
+        four = CerealAccelerator(
+            CerealConfig(block_reconstructors_per_du=4),
+            registration=accelerator.registration,
+        )
+        _, t_one, _ = one.deserialize(result.stream, Heap(registry=registry))
+        _, t_four, _ = four.deserialize(result.stream, Heap(registry=registry))
+        assert t_four.elapsed_ns <= t_one.elapsed_ns
+
+    def test_du_workload_block_decomposition(self, setup):
+        _, accelerator, sender, _ = setup
+        root = build_tree(sender, depth=4)
+        result, _, _ = accelerator.serialize(root)
+        sections = CerealSerializer.decode_sections(result.stream)
+        workload = DUWorkload.from_stream_sections(sections)
+        assert workload.image_bytes == sections.graph_total_bytes
+        slot_total = sum(b.value_slots + b.reference_slots for b in workload.blocks)
+        assert slot_total * 8 == workload.image_bytes
+        ref_total = sum(b.reference_slots for b in workload.blocks)
+        assert ref_total == sections.references.item_count
+
+
+class TestBatchScheduling:
+    def test_batch_uses_unit_pool(self, setup):
+        _, accelerator, sender, _ = setup
+        root = build_tree(sender, depth=6)
+        _, timing, _ = accelerator.serialize(root)
+        # 8 identical ops across 8 SUs should take about one op's time.
+        batch = accelerator.run_batch([timing] * 8)
+        assert batch < timing.elapsed_ns * 2.5
+
+    def test_batch_beyond_pool_queues(self, setup):
+        _, accelerator, sender, _ = setup
+        root = build_tree(sender, depth=6)
+        _, timing, _ = accelerator.serialize(root)
+        batch = accelerator.run_batch([timing] * 17)  # > 2 rounds of 8
+        assert batch >= timing.elapsed_ns * 3
+
+    def test_bandwidth_floor_applies(self, setup):
+        _, accelerator, sender, _ = setup
+        root = build_tree(sender, depth=6)
+        _, timing, _ = accelerator.serialize(root)
+        many = accelerator.run_batch([timing] * 64)
+        floor = (
+            64
+            * timing.dram_bytes
+            / accelerator.dram_config.peak_bandwidth_bytes_per_sec
+            * 1e9
+        )
+        assert many >= floor
+
+    def test_empty_batch(self, setup):
+        _, accelerator, _, _ = setup
+        assert accelerator.run_batch([]) == 0.0
+
+
+class TestPowerModel:
+    def test_table_v_total_area(self):
+        assert cereal_area_mm2() == pytest.approx(3.857, abs=0.01)
+
+    def test_table_v_total_power(self):
+        assert cereal_average_power_watts() * 1000 == pytest.approx(1231.6, abs=1.0)
+
+    def test_serializer_pool_breakdown(self):
+        # Table V: serializer pool average power is 264.8 mW (plus shared).
+        shared_mw = 2.7 + 0.8 + 1.2 + 5.3
+        assert serializer_power_watts() * 1000 == pytest.approx(
+            264.8 + shared_mw, abs=0.5
+        )
+
+    def test_deserializer_pool_breakdown(self):
+        shared_mw = 2.7 + 0.8 + 1.2 + 5.3
+        assert deserializer_power_watts() * 1000 == pytest.approx(
+            956.8 + shared_mw, abs=0.5
+        )
+
+    def test_energy_scales_with_time(self):
+        one = cereal_energy_joules(1.0, "serialize")
+        two = cereal_energy_joules(2.0, "serialize")
+        assert two == pytest.approx(2 * one)
+
+    def test_cpu_energy_far_exceeds_cereal(self):
+        cpu = cpu_energy_joules(1.0)
+        cereal = cereal_energy_joules(1.0, "deserialize")
+        assert cpu / cereal > 100  # the paper's orders-of-magnitude gap
+
+    def test_area_power_table_consistency(self):
+        rows, total_area, total_power_mw = area_power_table()
+        assert sum(row[4] for row in rows) == pytest.approx(total_area)
+        assert sum(row[5] for row in rows) == pytest.approx(total_power_mw)
+
+    def test_scaled_configuration(self):
+        small = CerealConfig(
+            num_serializer_units=1,
+            num_deserializer_units=1,
+            block_reconstructors_per_du=1,
+        )
+        assert cereal_area_mm2(small) < cereal_area_mm2()
+
+    def test_bad_operation_rejected(self):
+        with pytest.raises(ValueError):
+            cereal_energy_joules(1.0, "compress")
+        with pytest.raises(ValueError):
+            cereal_energy_joules(-1.0)

@@ -1,0 +1,104 @@
+"""Tests for the analysis/report helpers and the summary tool."""
+
+import os
+
+import pytest
+
+from repro.analysis import ReportTable, format_speedup, geomean
+from repro.analysis.summary import build_summary, collect_reports
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_non_positive(self):
+        assert geomean([0.0, 4.0, -1.0]) == pytest.approx(4.0)
+
+    def test_order_invariant(self):
+        assert geomean([2, 8, 32]) == pytest.approx(geomean([32, 2, 8]))
+
+
+class TestFormatSpeedup:
+    def test_format(self):
+        assert format_speedup(2.345) == "2.35x"
+
+
+class TestReportTable:
+    def make_table(self):
+        table = ReportTable("Demo", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", "raw")
+        return table
+
+    def test_render_contains_title_and_rows(self):
+        text = self.make_table().render()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.50" in text
+        assert "raw" in text
+
+    def test_row_arity_checked(self):
+        table = ReportTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_small_floats_get_more_precision(self):
+        table = ReportTable("Demo", ["v"])
+        table.add_row(0.0042)
+        assert "0.0042" in table.render()
+
+    def test_notes_rendered(self):
+        table = self.make_table()
+        table.add_note("context matters")
+        assert "note: context matters" in table.render()
+
+    def test_columns_aligned(self):
+        text = self.make_table().render()
+        lines = text.splitlines()
+        header = next(line for line in lines if "name" in line)
+        separator = lines[lines.index(header) + 1]
+        assert len(separator) == len(header)
+
+    def test_save_round_trip(self, tmp_path):
+        table = self.make_table()
+        path = table.save(str(tmp_path), "demo")
+        with open(path) as handle:
+            assert "alpha" in handle.read()
+
+
+class TestSummary:
+    def _populate(self, directory):
+        for name in ("fig10_serialize", "zz_custom"):
+            table = ReportTable(name, ["k"])
+            table.add_row(name)
+            table.save(str(directory), name)
+
+    def test_collect_orders_known_first(self, tmp_path):
+        self._populate(tmp_path)
+        reports = collect_reports(str(tmp_path))
+        assert [name for name, _ in reports] == ["fig10_serialize", "zz_custom"]
+
+    def test_build_summary_contains_everything(self, tmp_path):
+        self._populate(tmp_path)
+        summary = build_summary(str(tmp_path))
+        assert "fig10_serialize" in summary
+        assert "zz_custom" in summary
+        assert "2 tables" in summary
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_reports(str(tmp_path / "nope"))
+
+    def test_summary_file_excluded_from_collection(self, tmp_path):
+        self._populate(tmp_path)
+        with open(os.path.join(tmp_path, "SUMMARY.txt"), "w") as handle:
+            handle.write("previous run")
+        reports = collect_reports(str(tmp_path))
+        assert all(name != "SUMMARY" for name, _ in reports)

@@ -1,0 +1,115 @@
+"""Tests for repro.common.bitutils, including property-based round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitutils import (
+    align_down,
+    align_up,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    chunks,
+    concat_bits,
+    int_to_bits,
+    iter_bit_runs,
+    popcount,
+    significant_bits,
+)
+
+
+class TestSignificantBits:
+    def test_zero_needs_one_bit(self):
+        assert significant_bits(0) == 1
+
+    def test_one(self):
+        assert significant_bits(1) == 1
+
+    def test_powers_of_two(self):
+        assert significant_bits(2) == 2
+        assert significant_bits(255) == 8
+        assert significant_bits(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            significant_bits(-1)
+
+
+class TestIntBitsRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_round_trip(self, value):
+        width = significant_bits(value)
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    @given(st.integers(min_value=0, max_value=2**20), st.integers(1, 8))
+    def test_round_trip_with_padding(self, value, extra):
+        width = significant_bits(value) + extra
+        bits = int_to_bits(value, width)
+        assert len(bits) == width
+        assert bits_to_int(bits) == value
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(256, 8)
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+
+class TestBytesBitsRoundTrip:
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=200))
+    def test_round_trip(self, bits):
+        packed = bits_to_bytes(bits)
+        assert bytes_to_bits(packed, bit_count=len(bits)) == bits
+
+    def test_msb_first(self):
+        assert bits_to_bytes([1, 0, 0, 0, 0, 0, 0, 0]) == b"\x80"
+
+    def test_tail_zero_padded(self):
+        assert bits_to_bytes([1, 1, 1]) == b"\xe0"
+
+    def test_bit_count_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_bits(b"\x00", bit_count=9)
+
+
+class TestAlignment:
+    @given(st.integers(0, 10**9), st.sampled_from([1, 8, 64, 4096]))
+    def test_align_up_properties(self, value, alignment):
+        aligned = align_up(value, alignment)
+        assert aligned % alignment == 0
+        assert 0 <= aligned - value < alignment
+
+    @given(st.integers(0, 10**9), st.sampled_from([1, 8, 64, 4096]))
+    def test_align_down_properties(self, value, alignment):
+        aligned = align_down(value, alignment)
+        assert aligned % alignment == 0
+        assert 0 <= value - aligned < alignment
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(5, 0)
+
+
+class TestMisc:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_iter_bit_runs(self):
+        assert list(iter_bit_runs([1, 1, 0, 0, 0, 1])) == [(1, 2), (0, 3), (1, 1)]
+
+    def test_iter_bit_runs_empty(self):
+        assert list(iter_bit_runs([])) == []
+
+    def test_chunks(self):
+        assert list(chunks([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_chunks_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunks([1], 0))
+
+    def test_concat_bits(self):
+        assert concat_bits([[1, 0], [1]]) == [1, 0, 1]

@@ -1,0 +1,156 @@
+"""Tests for the accelerator's hardware tables, TLB, and MAI."""
+
+import pytest
+
+from repro.common.config import CerealConfig
+from repro.common.errors import CapacityError, SimulationError
+from repro.cereal.mai import MemoryAccessInterface
+from repro.cereal.tables import ClassIDTable, KlassPointerTable
+from repro.cereal.tlb import TLB
+from repro.memory.dram import DRAMModel
+
+
+class TestKlassPointerTable:
+    def test_install_and_lookup(self):
+        table = KlassPointerTable()
+        table.install(0x7F00_0000, 3)
+        assert table.lookup(0x7F00_0000) == 3
+        assert table.lookups == 1
+
+    def test_reinstall_same_mapping_ok(self):
+        table = KlassPointerTable()
+        table.install(0x1000, 1)
+        table.install(0x1000, 1)
+        assert len(table) == 1
+
+    def test_reinstall_conflicting_rejected(self):
+        table = KlassPointerTable()
+        table.install(0x1000, 1)
+        with pytest.raises(SimulationError):
+            table.install(0x1000, 2)
+
+    def test_capacity_enforced(self):
+        table = KlassPointerTable(max_entries=2)
+        table.install(0x1000, 0)
+        table.install(0x2000, 1)
+        with pytest.raises(CapacityError):
+            table.install(0x3000, 2)
+
+    def test_unregistered_lookup_rejected(self):
+        table = KlassPointerTable()
+        with pytest.raises(CapacityError):
+            table.lookup(0xDEAD)
+
+
+class TestClassIDTable:
+    def test_dense_install_and_lookup(self):
+        table = ClassIDTable()
+        table.install(0, 0x1000)
+        table.install(1, 0x2000)
+        assert table.lookup(1) == 0x2000
+
+    def test_sparse_install_rejected(self):
+        table = ClassIDTable()
+        with pytest.raises(SimulationError):
+            table.install(5, 0x1000)
+
+    def test_capacity_enforced(self):
+        table = ClassIDTable(max_entries=1)
+        table.install(0, 0x1000)
+        with pytest.raises(CapacityError):
+            table.install(1, 0x2000)
+
+    def test_unknown_id_rejected(self):
+        table = ClassIDTable()
+        with pytest.raises(CapacityError):
+            table.lookup(0)
+
+
+class TestTLB:
+    def test_first_access_misses_then_hits(self):
+        tlb = TLB(entries=4)
+        assert tlb.translate(0x1234) > 0  # miss: page walk
+        assert tlb.translate(0x5678) == 0.0  # same 1 GiB page
+        assert tlb.misses == 1 and tlb.hits == 1
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2, page_bytes=4096)
+        tlb.translate(0)  # page 0
+        tlb.translate(4096)  # page 1
+        tlb.translate(8192)  # page 2 evicts page 0
+        assert tlb.translate(0) > 0  # page 0 misses again
+        assert tlb.misses == 4
+
+    def test_paper_configuration_no_misses_on_128gb(self):
+        # 128 GB / 1 GiB pages = 120 pages < 128 entries (Section V-E).
+        tlb = TLB()
+        walks = sum(
+            1 for i in range(120) if tlb.translate(i * (1 << 30)) > 0
+        )
+        assert walks == 120  # compulsory only
+        again = sum(1 for i in range(120) if tlb.translate(i * (1 << 30)) > 0)
+        assert again == 0
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(SimulationError):
+            TLB(page_bytes=1000)
+
+
+class TestMAI:
+    def make_mai(self, coalescing=True):
+        return MemoryAccessInterface(
+            DRAMModel(), CerealConfig(), coalescing=coalescing
+        )
+
+    def test_read_latency_includes_dram(self):
+        mai = self.make_mai()
+        done = mai.read(0.0, 0x100, 8)
+        assert done >= 40.0  # zero-load latency
+
+    def test_coalescing_same_block(self):
+        mai = self.make_mai()
+        first = mai.read(0.0, 0x100, 8)
+        second = mai.read(0.0, 0x108, 8)  # same 32 B block
+        assert second == first  # no second DRAM access
+        assert mai.stats.coalesced_blocks == 1
+        assert mai.stats.blocks_read == 1
+
+    def test_coalescing_disabled(self):
+        mai = self.make_mai(coalescing=False)
+        mai.read(0.0, 0x100, 8)
+        mai.read(0.0, 0x108, 8)
+        assert mai.stats.coalesced_blocks == 0
+        assert mai.stats.blocks_read == 2
+
+    def test_multi_block_read_returns_in_order_completion(self):
+        mai = self.make_mai()
+        done = mai.read(0.0, 0x0, 64)  # two 32 B blocks
+        assert mai.stats.blocks_read == 2
+        assert done >= 40.0
+
+    def test_entry_eviction_limits_coalescing_window(self):
+        config = CerealConfig(mai_entries=2)
+        mai = MemoryAccessInterface(DRAMModel(), config)
+        mai.read(0.0, 0 * 32, 8)
+        mai.read(0.0, 1 * 32, 8)
+        mai.read(0.0, 2 * 32, 8)  # evicts block 0
+        mai.read(100.0, 0 * 32, 8)  # no longer coalesces
+        assert mai.stats.blocks_read == 4
+
+    def test_write_is_posted(self):
+        mai = self.make_mai()
+        mai.read(0.0, 0x100, 8)  # warm the TLB so only posting cost remains
+        ack = mai.write(100.0, 0x200, 64)
+        assert ack == pytest.approx(101.0)  # requester continues immediately
+        assert mai.drain(0.0) > 140.0  # but data lands later
+
+    def test_atomic_rmw_counts(self):
+        mai = self.make_mai()
+        done = mai.atomic_rmw(0.0, 0x200)
+        assert done > 40.0
+        assert mai.stats.atomic_rmws == 1
+
+    def test_zero_length_rejected(self):
+        mai = self.make_mai()
+        with pytest.raises(SimulationError):
+            mai.read(0.0, 0, 0)

@@ -1,0 +1,153 @@
+"""Tests for the shared-DRAM device simulator and the interval channel."""
+
+import pytest
+
+from repro.cereal import CerealAccelerator, DeviceSimulator
+from repro.common.config import CerealConfig
+from repro.common.errors import SimulationError
+from repro.formats import graphs_equivalent
+from repro.jvm import Heap
+from repro.memory.dram import DRAMModel, _IntervalChannel
+from tests.test_serializers import build_tree, make_registry
+
+
+class TestIntervalChannel:
+    def test_empty_channel_starts_at_issue(self):
+        channel = _IntervalChannel()
+        assert channel.schedule(100.0, 5.0) == 100.0
+
+    def test_back_to_back_queues(self):
+        channel = _IntervalChannel()
+        channel.schedule(0.0, 10.0)
+        assert channel.schedule(0.0, 10.0) == 10.0
+
+    def test_out_of_order_fills_gap(self):
+        channel = _IntervalChannel()
+        channel.schedule(0.0, 10.0)  # [0, 10)
+        channel.schedule(50.0, 10.0)  # [50, 60)
+        # A later-issued access with an earlier timestamp fits the gap.
+        assert channel.schedule(20.0, 10.0) == 20.0
+
+    def test_gap_too_small_skipped(self):
+        channel = _IntervalChannel()
+        channel.schedule(0.0, 10.0)  # [0, 10)
+        channel.schedule(15.0, 10.0)  # [15, 25)
+        # A 10-unit access cannot fit in the 5-unit gap [10, 15).
+        assert channel.schedule(5.0, 10.0) == 25.0
+
+    def test_issue_inside_busy_interval(self):
+        channel = _IntervalChannel()
+        channel.schedule(0.0, 20.0)  # [0, 20)
+        assert channel.schedule(5.0, 5.0) == 20.0
+
+    def test_many_insertions_remain_sorted(self):
+        channel = _IntervalChannel()
+        starts = [channel.schedule(t, 1.0) for t in (50, 10, 30, 10, 50, 0)]
+        assert all(s >= t for s, t in zip(starts, (50, 10, 30, 10, 50, 0)))
+        assert channel._starts == sorted(channel._starts)
+
+
+class TestOutOfOrderDRAM:
+    def test_early_issue_not_queued_behind_late(self):
+        in_order = DRAMModel()
+        out_of_order = DRAMModel(out_of_order=True)
+        for dram in (in_order, out_of_order):
+            dram.access(10_000.0, 0, 64, is_write=False)  # late traffic
+        blocked = in_order.access(0.0, 0, 64, is_write=False)
+        unblocked = out_of_order.access(0.0, 0, 64, is_write=False)
+        assert blocked > 10_000.0
+        assert unblocked < 100.0
+
+    def test_reset_clears_intervals(self):
+        dram = DRAMModel(out_of_order=True)
+        dram.access(0.0, 0, 64, is_write=False)
+        dram.reset()
+        assert dram.access(0.0, 0, 64, is_write=False) < 100.0
+
+
+@pytest.fixture
+def device():
+    registry = make_registry()
+    accelerator = CerealAccelerator()
+    for klass in registry:
+        accelerator.register_class(klass)
+    heap = Heap(registry=registry)
+    return registry, accelerator, heap, DeviceSimulator(accelerator)
+
+
+class TestDeviceSimulator:
+    def test_empty_batch(self, device):
+        _, _, _, simulator = device
+        result = simulator.run([])
+        assert result.wall_time_ns == 0.0
+        assert result.operations == []
+
+    def test_pool_overlap_near_single_op_time(self, device):
+        """Eight independent serializations on eight SUs ~ one op's time."""
+        _, accelerator, heap, simulator = device
+        roots = [build_tree(heap, depth=7) for _ in range(8)]
+        _, single, _ = accelerator.serialize(build_tree(heap, depth=7))
+        batch = simulator.run([("serialize", root) for root in roots])
+        assert batch.wall_time_ns < 1.8 * single.elapsed_ns
+
+    def test_oversubscription_queues_on_units(self, device):
+        _, accelerator, heap, simulator = device
+        roots = [build_tree(heap, depth=6) for _ in range(16)]
+        batch_8 = simulator.run([("serialize", root) for root in roots[:8]])
+        batch_16 = simulator.run([("serialize", root) for root in roots])
+        assert batch_16.wall_time_ns > 1.5 * batch_8.wall_time_ns
+
+    def test_device_bandwidth_scales_with_busy_units(self, device):
+        _, _, heap, simulator = device
+        one = simulator.run([("serialize", build_tree(heap, depth=7))])
+        eight = simulator.run(
+            [("serialize", build_tree(heap, depth=7)) for _ in range(8)]
+        )
+        assert eight.bandwidth_utilization > 4 * one.bandwidth_utilization
+
+    def test_deserialize_wave_functional_and_fast(self, device):
+        registry, _, heap, simulator = device
+        roots = [build_tree(heap, depth=5) for _ in range(4)]
+        ser = simulator.run([("serialize", root) for root in roots])
+        receivers = [Heap(registry=registry) for _ in range(4)]
+        deser = simulator.run(
+            [
+                ("deserialize", op.stream, receiver)
+                for op, receiver in zip(ser.operations, receivers)
+            ]
+        )
+        for root, op in zip(roots, deser.operations):
+            assert graphs_equivalent(root, op.root)
+        assert deser.wall_time_ns > 0
+
+    def test_mixed_batch_uses_both_pools(self, device):
+        registry, _, heap, simulator = device
+        root = build_tree(heap, depth=5)
+        ser = simulator.run([("serialize", root)])
+        stream = ser.operations[0].stream
+        mixed = simulator.run(
+            [
+                ("serialize", build_tree(heap, depth=5)),
+                ("deserialize", stream, Heap(registry=registry)),
+            ]
+        )
+        kinds = {op.kind for op in mixed.operations}
+        assert kinds == {"serialize", "deserialize"}
+        # Both pools start immediately: neither op waits for the other.
+        assert all(op.start_ns == 0.0 for op in mixed.operations)
+
+    def test_unknown_request_kind_rejected(self, device):
+        _, _, heap, simulator = device
+        with pytest.raises(SimulationError):
+            simulator.run([("compress", build_tree(heap, depth=2))])
+
+    def test_small_pool_config_respected(self):
+        registry = make_registry()
+        accelerator = CerealAccelerator(CerealConfig(num_serializer_units=2))
+        for klass in registry:
+            accelerator.register_class(klass)
+        heap = Heap(registry=registry)
+        simulator = DeviceSimulator(accelerator)
+        roots = [build_tree(heap, depth=5) for _ in range(4)]
+        result = simulator.run([("serialize", root) for root in roots])
+        assert {op.unit_index for op in result.operations} == {0, 1}

@@ -1,0 +1,149 @@
+"""Tests for the RTL-level datapath models.
+
+The datapaths must be bit-exact against the functional packing encoders,
+and their cycle counts must match the rates the SU/DU timing models charge
+(one reference item per cycle; 64 bitmap bits per cycle; one unpacked item
+per cycle; single-cycle popcount of an 8-bit chunk).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cereal.rtl import (
+    BitmapPackerDatapath,
+    PackerDatapath,
+    PopcountTree,
+    UnpackerDatapath,
+)
+from repro.cereal.rtl.bitpack import priority_encode
+from repro.common.errors import SimulationError
+from repro.formats.packing import pack_bitmaps, pack_items
+
+
+class TestPriorityEncoder:
+    def test_zero(self):
+        assert priority_encode(0) == 0
+
+    @pytest.mark.parametrize("value,expected", [(1, 1), (2, 2), (255, 8), (256, 9)])
+    def test_known_values(self, value, expected):
+        assert priority_encode(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            priority_encode(-1)
+
+
+class TestPackerDatapath:
+    @given(st.lists(st.integers(0, 2**40), max_size=100))
+    def test_bit_exact_against_functional_encoder(self, values):
+        datapath = PackerDatapath()
+        for value in values:
+            datapath.push(value)
+        assert datapath.result() == pack_items(values)
+
+    @given(st.lists(st.integers(0, 2**32), min_size=1, max_size=50))
+    def test_one_item_per_cycle(self, values):
+        datapath = PackerDatapath()
+        for value in values:
+            datapath.push(value)
+        # The rate the SU's reference array writer is charged
+        # (_RAW_ITEMS_PER_CYCLE = 1.0 in repro.cereal.su).
+        assert datapath.cycles == len(values)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            PackerDatapath().push(-1)
+
+
+class TestBitmapPackerDatapath:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=1, max_size=80),
+            max_size=30,
+        )
+    )
+    def test_bit_exact_against_functional_encoder(self, bitmaps):
+        datapath = BitmapPackerDatapath()
+        for bitmap in bitmaps:
+            datapath.push_bitmap(bitmap)
+        assert datapath.result() == pack_bitmaps(bitmaps)
+
+    def test_cycles_match_omm_rate(self):
+        datapath = BitmapPackerDatapath()
+        datapath.push_bitmap([0] * 64)  # exactly one 64-bit beat
+        datapath.push_bitmap([0] * 65)  # spills into a second beat
+        assert datapath.cycles == 3
+
+    def test_empty_bitmap_rejected(self):
+        with pytest.raises(SimulationError):
+            BitmapPackerDatapath().push_bitmap([])
+
+
+class TestUnpackerDatapath:
+    @given(st.lists(st.integers(0, 2**40), max_size=80))
+    def test_values_round_trip(self, values):
+        unpacker = UnpackerDatapath(pack_items(values))
+        assert unpacker.drain_values() == values
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=1, max_size=60),
+            max_size=20,
+        )
+    )
+    def test_bitmaps_round_trip(self, bitmaps):
+        unpacker = UnpackerDatapath(pack_bitmaps(bitmaps))
+        assert unpacker.drain_bitmaps() == bitmaps
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=50))
+    def test_one_item_per_cycle(self, values):
+        unpacker = UnpackerDatapath(pack_items(values))
+        unpacker.drain_values()
+        assert unpacker.cycles == len(values)
+
+    def test_drained_returns_none(self):
+        unpacker = UnpackerDatapath(pack_items([7]))
+        assert unpacker.next_value() == 7
+        assert unpacker.next_value() is None
+
+
+class TestHardwareSoftwareRoundTrip:
+    @given(st.lists(st.integers(0, 2**32), max_size=60))
+    def test_pack_with_hardware_unpack_with_hardware(self, values):
+        packer = PackerDatapath()
+        for value in values:
+            packer.push(value)
+        unpacker = UnpackerDatapath(packer.result())
+        assert unpacker.drain_values() == values
+
+
+class TestPopcountTree:
+    def test_all_256_bytes(self):
+        tree = PopcountTree(8)
+        for value in range(256):
+            ones, zeros = tree.count_byte(value)
+            assert ones == bin(value).count("1")
+            assert ones + zeros == 8
+
+    def test_depth_is_log2(self):
+        assert PopcountTree(8).depth == 3
+        assert PopcountTree(64).depth == 6
+
+    def test_levels_structure(self):
+        tree = PopcountTree(8)
+        levels = tree.levels([1, 0, 1, 1, 0, 0, 1, 0])
+        assert len(levels) == tree.depth + 1
+        assert levels[-1] == [4]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(SimulationError):
+            PopcountTree(6)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(SimulationError):
+            PopcountTree(8).count([1, 0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(SimulationError):
+            PopcountTree(8).count([2, 0, 0, 0, 0, 0, 0, 0])

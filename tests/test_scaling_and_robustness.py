@@ -1,0 +1,138 @@
+"""Scale stability of the modelled speedups, and corruption robustness.
+
+DESIGN.md claims the reproduction's speedups are ratios of modelled
+cycles/bytes and therefore scale-stable; the first half verifies that the
+key ratios move only mildly when the workload doubles. The second half
+injects random corruption into serialized streams and requires every
+decoder to fail with a *library* error (or produce a structurally valid
+graph) — never an unrelated crash.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cereal import CerealAccelerator
+from repro.common.config import HostCPUConfig, SystemConfig
+from repro.common.errors import CerealError
+from repro.cpu import SoftwarePlatform
+from repro.formats import (
+    CerealSerializer,
+    ClassRegistration,
+    JavaSerializer,
+    KryoSerializer,
+    SerializedStream,
+    SkywaySerializer,
+)
+from repro.jvm import Heap
+from tests.test_serializers import build_tree, make_registry, make_serializer
+
+
+def _speedup_at_depth(depth):
+    """(kryo_deser_speedup, cereal_ser_speedup) on a tree of ``depth``."""
+    registry = make_registry()
+    platform = SoftwarePlatform(SystemConfig(host=HostCPUConfig().scaled_caches(100)))
+
+    heap = Heap(registry=registry)
+    receiver = Heap(registry=registry)
+    root = build_tree(heap, depth=depth)
+    java_ser, java_de = platform.round_trip_timings(
+        make_serializer("java", registry), root, receiver
+    )
+    heap2 = Heap(registry=registry)
+    receiver2 = Heap(registry=registry)
+    root2 = build_tree(heap2, depth=depth)
+    kryo_ser, kryo_de = platform.round_trip_timings(
+        make_serializer("kryo", registry), root2, receiver2
+    )
+
+    heap3 = Heap(registry=registry)
+    root3 = build_tree(heap3, depth=depth)
+    accelerator = CerealAccelerator()
+    for klass in registry:
+        accelerator.register_class(klass)
+    _, cereal_ser, _ = accelerator.serialize(root3)
+
+    return (
+        java_de.time_ns / kryo_de.time_ns,
+        java_ser.time_ns / cereal_ser.elapsed_ns,
+    )
+
+
+class TestScaleStability:
+    def test_ratios_stable_when_workload_doubles(self):
+        kryo_small, cereal_small = _speedup_at_depth(9)  # 1023 objects
+        kryo_large, cereal_large = _speedup_at_depth(10)  # 2047 objects
+        assert kryo_large / kryo_small == pytest.approx(1.0, abs=0.35)
+        assert cereal_large / cereal_small == pytest.approx(1.0, abs=0.35)
+
+    def test_cereal_throughput_grows_with_size(self):
+        """Fixed costs amortize: bigger graphs get closer to peak rate."""
+        registry = make_registry()
+        accelerator = CerealAccelerator()
+        for klass in registry:
+            accelerator.register_class(klass)
+        heap = Heap(registry=registry)
+        small = build_tree(heap, depth=5)
+        large = build_tree(heap, depth=10)
+        _, t_small, _ = accelerator.serialize(small)
+        _, t_large, _ = accelerator.serialize(large)
+        assert (
+            t_large.throughput_bytes_per_sec
+            >= 0.9 * t_small.throughput_bytes_per_sec
+        )
+
+
+def _corrupt(data: bytes, position: int, value: int) -> bytes:
+    mutated = bytearray(data)
+    mutated[position % len(mutated)] ^= value or 0xFF
+    return bytes(mutated)
+
+
+_SERIALIZER_KINDS = ["java", "kryo", "skyway", "cereal"]
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize("serializer_kind", _SERIALIZER_KINDS)
+class TestCorruptionRobustness:
+    @_SETTINGS
+    @given(position=st.integers(0, 10_000), flip=st.integers(1, 255))
+    def test_corrupted_stream_fails_safely(self, serializer_kind, position, flip):
+        registry = make_registry()
+        heap = Heap(registry=registry)
+        receiver = Heap(registry=registry)
+        serializer = make_serializer(serializer_kind, registry)
+        stream = serializer.serialize(build_tree(heap, depth=4)).stream
+        corrupted = SerializedStream(
+            format_name=stream.format_name,
+            data=_corrupt(stream.data, position, flip),
+            sections=dict(stream.sections),
+        )
+        try:
+            result = serializer.deserialize(corrupted, receiver)
+        except CerealError:
+            return  # detected: a library error, the acceptable outcome
+        except (OverflowError, MemoryError):
+            pytest.fail("corruption escaped the format layer's validation")
+        # Undetected corruption must still have produced real heap objects
+        # (e.g. a flipped primitive value), never a dangling structure.
+        graph_root = result.root
+        assert graph_root.klass.name
+        for obj in _walk_safely(graph_root):
+            assert obj.size_bytes > 0
+
+
+def _walk_safely(root, limit=10_000):
+    from repro.jvm import traverse_object_graph
+
+    count = 0
+    for obj in traverse_object_graph(root):
+        yield obj
+        count += 1
+        if count > limit:
+            raise AssertionError("corrupted graph walk did not terminate")

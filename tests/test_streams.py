@@ -1,0 +1,114 @@
+"""Tests for the byte-stream reader/writer and its varint encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import FormatError
+from repro.formats.streams import StreamReader, StreamWriter
+
+
+class TestWriterSections:
+    def test_sections_accumulate(self):
+        writer = StreamWriter()
+        writer.write_u32(1, "header")
+        writer.write_u32(2, "header")
+        writer.write_u8(3, "data")
+        assert writer.sections == {"header": 8, "data": 1}
+        assert len(writer) == 9
+
+    def test_getvalue_matches_writes(self):
+        writer = StreamWriter()
+        writer.write_bytes(b"ab", "x")
+        writer.write_u16(0x0102, "x")
+        assert writer.getvalue() == b"ab\x02\x01"
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "write,read,value",
+        [
+            ("write_u8", "read_u8", 0xAB),
+            ("write_u16", "read_u16", 0xABCD),
+            ("write_u32", "read_u32", 0xDEADBEEF),
+            ("write_u64", "read_u64", 0x0123456789ABCDEF),
+            ("write_i32", "read_i32", -123456),
+            ("write_i64", "read_i64", -(2**60)),
+        ],
+    )
+    def test_round_trip(self, write, read, value):
+        writer = StreamWriter()
+        getattr(writer, write)(value, "s")
+        reader = StreamReader(writer.getvalue())
+        assert getattr(reader, read)() == value
+
+    def test_f64_round_trip(self):
+        writer = StreamWriter()
+        writer.write_f64(-0.125, "s")
+        assert StreamReader(writer.getvalue()).read_f64() == -0.125
+
+
+class TestVarints:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_unsigned_round_trip(self, value):
+        writer = StreamWriter()
+        writer.write_varint(value, "v")
+        assert StreamReader(writer.getvalue()).read_varint() == value
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62 - 1))
+    def test_signed_round_trip(self, value):
+        writer = StreamWriter()
+        writer.write_signed_varint(value, "v")
+        assert StreamReader(writer.getvalue()).read_signed_varint() == value
+
+    def test_small_values_take_one_byte(self):
+        writer = StreamWriter()
+        assert writer.write_varint(127, "v") == 1
+        assert writer.write_varint(128, "v") == 2
+
+    def test_zigzag_keeps_small_negatives_small(self):
+        writer = StreamWriter()
+        assert writer.write_signed_varint(-1, "v") == 1
+        assert writer.write_signed_varint(-64, "v") == 1
+        assert writer.write_signed_varint(-65, "v") == 2
+
+    def test_negative_unsigned_rejected(self):
+        with pytest.raises(FormatError):
+            StreamWriter().write_varint(-1, "v")
+
+    def test_overlong_varint_rejected(self):
+        reader = StreamReader(b"\xff" * 11)
+        with pytest.raises(FormatError):
+            reader.read_varint()
+
+
+class TestStrings:
+    @given(st.text(max_size=100))
+    def test_utf_round_trip(self, text):
+        writer = StreamWriter()
+        writer.write_utf(text, "s")
+        assert StreamReader(writer.getvalue()).read_utf() == text
+
+    def test_too_long_rejected(self):
+        with pytest.raises(FormatError):
+            StreamWriter().write_utf("x" * 70000, "s")
+
+
+class TestReaderBounds:
+    def test_underflow_rejected(self):
+        reader = StreamReader(b"\x01\x02")
+        with pytest.raises(FormatError):
+            reader.read_u32()
+
+    def test_position_tracks(self):
+        reader = StreamReader(b"\x01\x02\x03")
+        reader.read_u8()
+        assert reader.position == 1
+        assert reader.remaining == 2
+
+    def test_expect_end(self):
+        reader = StreamReader(b"\x01")
+        with pytest.raises(FormatError):
+            reader.expect_end()
+        reader.read_u8()
+        reader.expect_end()  # no error once drained

@@ -1,0 +1,205 @@
+"""Direct unit tests for the SU and DU timing models (below the façade)."""
+
+import pytest
+
+from repro.cereal.du import (
+    BlockDescriptor,
+    DeserializationUnit,
+    DUWorkload,
+    _StreamPrefetcher,
+)
+from repro.cereal.mai import MemoryAccessInterface
+from repro.cereal.su import OUTPUT_REGION_BASE, SerializationUnit, _BufferedStore
+from repro.cereal.tables import ClassIDTable, KlassPointerTable
+from repro.common.config import CerealConfig
+from repro.common.errors import SimulationError
+from repro.formats import ClassRegistration
+from repro.jvm import Heap
+from repro.memory.dram import DRAMModel
+from tests.test_serializers import build_shared, build_tree, make_registry
+
+
+def make_su(config=None, unit_id=0):
+    registry = make_registry()
+    registration = ClassRegistration()
+    for klass in registry:
+        registration.register(klass)
+    mai = MemoryAccessInterface(DRAMModel(), config or CerealConfig())
+    table = KlassPointerTable()
+    for class_id, klass in enumerate(registration):
+        table.install(klass.metaspace_address, class_id)
+    unit = SerializationUnit(mai, table, config or CerealConfig(), unit_id=unit_id)
+    heap = Heap(registry=registry)
+    return unit, heap, registration, mai
+
+
+class TestBufferedStore:
+    def test_writes_in_64b_chunks(self):
+        mai = MemoryAccessInterface(DRAMModel(), CerealConfig())
+        store = _BufferedStore(mai, 0x1000)
+        store.push(0.0, 40)
+        assert mai.stats.write_requests == 0  # below the 64 B threshold
+        store.push(0.0, 40)
+        assert mai.stats.write_requests == 1  # crossed: one chunk flushed
+        assert store.pending == 16
+
+    def test_flush_drains_partial(self):
+        mai = MemoryAccessInterface(DRAMModel(), CerealConfig())
+        store = _BufferedStore(mai, 0x1000)
+        store.push(0.0, 10)
+        store.flush(0.0)
+        assert store.pending == 0
+        assert mai.stats.write_requests == 1
+
+    def test_total_accumulates(self):
+        mai = MemoryAccessInterface(DRAMModel(), CerealConfig())
+        store = _BufferedStore(mai, 0x1000)
+        store.push(0.0, 100)
+        store.push(0.0, 100)
+        assert store.total == 200
+
+
+class TestSerializationUnit:
+    def test_start_time_offsets_result(self):
+        unit, heap, registration, _ = make_su()
+        root = build_tree(heap, depth=3)
+        late = unit.run(root, registration, start_ns=1000.0,
+                        serialization_counter=1)
+        assert late.start_ns == 1000.0
+        assert late.finish_ns > 1000.0
+
+    def test_output_traffic_matches_stream_structure(self):
+        unit, heap, registration, _ = make_su()
+        root = build_tree(heap, depth=4)
+        result = unit.run(root, registration, serialization_counter=1)
+        # Full binary tree of depth 4 -> 31 Node objects, each 6 slots
+        # (3 header + 1 value + 2 references).
+        assert result.objects == 31
+        assert result.value_bytes_written == 31 * (6 - 2) * 8
+        assert result.bitmap_bytes_written == 31  # ceil((6+1)/8) per object
+
+    def test_unit_ids_recorded_in_headers(self):
+        unit, heap, registration, _ = make_su(unit_id=3)
+        root = build_tree(heap, depth=2)
+        unit.run(root, registration, serialization_counter=7)
+        assert root.serialization_unit_id == 4  # unit_id + 1
+        assert root.serialization_counter == 7
+
+    def test_without_extension_uses_internal_tracking(self):
+        registry = make_registry()
+        registration = ClassRegistration()
+        for klass in registry:
+            registration.register(klass)
+        mai = MemoryAccessInterface(DRAMModel(), CerealConfig())
+        table = KlassPointerTable()
+        for class_id, klass in enumerate(registration):
+            table.install(klass.metaspace_address, class_id)
+        unit = SerializationUnit(mai, table, CerealConfig())
+        heap = Heap(registry=registry, cereal_extension=False)
+        root = build_shared(heap)
+        result = unit.run(root, registration, serialization_counter=1)
+        assert result.objects == 2
+        assert result.encounters == 3
+
+    def test_mai_sees_header_rmws(self):
+        unit, heap, registration, mai = make_su()
+        root = build_tree(heap, depth=3)
+        unit.run(root, registration, serialization_counter=1)
+        assert mai.stats.atomic_rmws == 15  # one per new object (depth-3 tree)
+
+
+class TestStreamPrefetcher:
+    def make(self, length, depth=8, start=0.0):
+        mai = MemoryAccessInterface(DRAMModel(), CerealConfig())
+        return _StreamPrefetcher(mai, 0x1000_0000, length, start, depth)
+
+    def test_zero_position_is_free(self):
+        prefetcher = self.make(1024)
+        assert prefetcher.available_at(0) == 0.0
+
+    def test_first_byte_pays_latency(self):
+        prefetcher = self.make(1024)
+        assert prefetcher.available_at(1) >= 40.0
+
+    def test_positions_monotone_per_channel(self):
+        prefetcher = self.make(64 * 64)
+        times = [prefetcher.available_at(p) for p in range(64, 64 * 64, 64)]
+        # Lines interleave over 4 DRAM channels; each channel delivers its
+        # lines in order (the first line additionally carries the
+        # compulsory TLB walk, delaying channel 0's whole stream).
+        for channel in range(4):
+            lane = times[channel::4]
+            assert lane == sorted(lane)
+
+    def test_position_clamped_to_length(self):
+        prefetcher = self.make(100)
+        assert prefetcher.available_at(10_000) == prefetcher.available_at(100)
+
+    def test_deeper_window_is_faster(self):
+        shallow = self.make(64 * 256, depth=1)
+        deep = self.make(64 * 256, depth=16)
+        assert deep.available_at(64 * 256) < shallow.available_at(64 * 256)
+
+    def test_overrun_rejected(self):
+        prefetcher = self.make(0)
+        assert prefetcher.available_at(0) == 0.0
+        with pytest.raises(SimulationError):
+            prefetcher._issue_next()
+
+
+class TestDeserializationUnitDirect:
+    def make_workload(self, blocks=16, values=6, refs=2):
+        return DUWorkload(
+            image_bytes=blocks * 64,
+            blocks=[
+                BlockDescriptor(
+                    value_slots=values,
+                    reference_slots=refs,
+                    has_header=(index % 2 == 0),
+                    reference_bytes=refs * 2,
+                )
+                for index in range(blocks)
+            ],
+            value_array_bytes=blocks * values * 8,
+            reference_array_bytes=blocks * refs * 2,
+            bitmap_bytes=blocks * 2,
+        )
+
+    def make_du(self, config=None):
+        mai = MemoryAccessInterface(DRAMModel(), config or CerealConfig())
+        table = ClassIDTable()
+        table.install(0, 0x7F00_0000_0000)
+        return DeserializationUnit(mai, table, config or CerealConfig()), mai
+
+    def test_blocks_and_bytes_accounted(self):
+        du, _ = self.make_du()
+        workload = self.make_workload(blocks=16)
+        result = du.run(workload, destination_base=0x2000_0000)
+        assert result.blocks == 16
+        assert result.image_bytes_written == 16 * 64
+        assert result.stream_bytes_read == (
+            workload.value_array_bytes
+            + workload.reference_array_bytes
+            + workload.bitmap_bytes
+        )
+
+    def test_header_blocks_hit_class_id_table(self):
+        du, _ = self.make_du()
+        workload = self.make_workload(blocks=16)
+        du.run(workload, destination_base=0x2000_0000)
+        assert du.class_id_table.lookups == 8  # every even block
+
+    def test_output_writes_reach_dram(self):
+        du, mai = self.make_du()
+        workload = self.make_workload(blocks=4)
+        du.run(workload, destination_base=0x2000_0000)
+        # 4 output blocks x 64 B, each split into two 32 B MAI blocks.
+        assert mai.stats.blocks_written == 8
+
+    def test_vanilla_serializes_chain(self):
+        pipelined, _ = self.make_du()
+        vanilla, _ = self.make_du(CerealConfig().vanilla())
+        workload = self.make_workload(blocks=64)
+        fast = pipelined.run(workload, destination_base=0x2000_0000)
+        slow = vanilla.run(workload, destination_base=0x2000_0000)
+        assert slow.elapsed_ns > fast.elapsed_ns

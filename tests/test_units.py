@@ -1,0 +1,65 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common.units import (
+    GB,
+    KIB,
+    MB,
+    bytes_human,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+
+
+class TestConversions:
+    def test_cycles_to_seconds_at_1ghz(self):
+        assert cycles_to_seconds(1_000_000_000, clock_ghz=1.0) == pytest.approx(1.0)
+
+    def test_cycles_to_seconds_at_3_6ghz(self):
+        assert cycles_to_seconds(3_600_000_000, clock_ghz=3.6) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles_rounds_up(self):
+        assert seconds_to_cycles(1.5e-9, clock_ghz=1.0) == 2
+
+    def test_seconds_to_cycles_exact(self):
+        assert seconds_to_cycles(5e-9, clock_ghz=1.0) == 5
+
+    def test_round_trip(self):
+        cycles = 123_456
+        seconds = cycles_to_seconds(cycles, clock_ghz=2.0)
+        assert seconds_to_cycles(seconds, clock_ghz=2.0) == cycles
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(1, clock_ghz=0)
+        with pytest.raises(ValueError):
+            seconds_to_cycles(1.0, clock_ghz=-1)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_cycles(-1.0)
+
+
+class TestUnitsConstants:
+    def test_decimal_units(self):
+        assert MB == 1000 * 1000
+        assert GB == 1000 * MB
+
+    def test_binary_units(self):
+        assert KIB == 1024
+
+
+class TestBytesHuman:
+    def test_bytes(self):
+        assert bytes_human(512) == "512 B"
+
+    def test_kib(self):
+        assert bytes_human(2048) == "2.00 KiB"
+
+    def test_mib(self):
+        assert bytes_human(3 * 1024 * 1024) == "3.00 MiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_human(-1)
