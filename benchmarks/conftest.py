@@ -15,10 +15,8 @@ from typing import Dict, List
 import pytest
 
 from repro.cereal import CerealAccelerator
-from repro.cereal.accelerator import OperationTiming
 from repro.common.config import CerealConfig, HostCPUConfig, SystemConfig
 from repro.cpu import SoftwarePlatform
-from repro.cpu.core import CPUTimingResult
 from repro.formats import (
     ClassRegistration,
     JavaSerializer,

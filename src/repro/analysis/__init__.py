@@ -1,5 +1,17 @@
-"""Reporting helpers: aligned text tables and experiment result records."""
+"""Reporting helpers: aligned text tables and experiment result records.
+
+Also re-exports :class:`~repro.faults.report.FaultReport` so chaos runs can
+be summarized next to the timing tables (``FaultReport.to_text()`` renders
+through :class:`ReportTable`).
+"""
 
 from repro.analysis.report import ReportTable, format_speedup, geomean
+from repro.faults.report import FaultReport, LayerFaultStats
 
-__all__ = ["ReportTable", "format_speedup", "geomean"]
+__all__ = [
+    "ReportTable",
+    "format_speedup",
+    "geomean",
+    "FaultReport",
+    "LayerFaultStats",
+]

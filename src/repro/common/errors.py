@@ -21,6 +21,27 @@ class FormatError(CerealError):
     """Raised when a serialized stream is malformed or cannot be decoded."""
 
 
+class TransientError(CerealError):
+    """A recoverable runtime fault: retrying (or re-executing) may succeed.
+
+    Raised by the resilience layer when bounded retries are exhausted; the
+    subtypes below identify what failed so callers can pick a recovery
+    strategy (re-fetch, lineage re-execution, software fallback).
+    """
+
+
+class CorruptionError(TransientError, FormatError):
+    """A checksummed stream frame failed verification.
+
+    Subclasses both :class:`TransientError` (a re-fetch gets a clean copy)
+    and :class:`FormatError` (the bytes are undecodable as received).
+    """
+
+
+class ExecutorLostError(TransientError):
+    """An executor died mid-stage and its outputs are gone."""
+
+
 class SimulationError(CerealError):
     """Raised when the cycle-level simulation reaches an invalid state."""
 

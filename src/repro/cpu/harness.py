@@ -23,7 +23,7 @@ from repro.formats.base import (
     Serializer,
 )
 from repro.jvm.heap import Heap, HeapObject
-from repro.memory.trace import MemoryAccess, MemoryTrace
+from repro.memory.trace import MemoryTrace
 
 # The serialized stream lives in a malloc'd buffer far from the heap.
 _STREAM_BUFFER_BASE = 0x7000_0000_0000

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the mini-Spark resilience layer.
+
+The package has three pieces:
+
+* :class:`~repro.faults.policy.FaultPolicy` — a frozen description of
+  *what* can go wrong and how often (corruption, drops, latency spikes,
+  executor loss, accelerator capacity faults, heap exhaustion);
+* :class:`~repro.faults.injector.FaultInjector` — decides, purely as a
+  function of ``(seed, channel, operation index)``, whether each specific
+  operation faults, so two runs with the same seed inject *exactly* the
+  same faults;
+* :class:`~repro.faults.report.FaultReport` — per-layer counters of
+  injected / detected / recovered / fallback events, exposed through
+  :mod:`repro.analysis`.
+
+The layers that consume the injector are
+:class:`repro.spark.transfer.ResilientTransfer` (shuffle / broadcast /
+collect re-fetches), :class:`repro.spark.engine.PartitionedDataset`
+(lineage re-execution) and :class:`repro.spark.backend.CerealBackend`
+(software-serializer fallback on :class:`~repro.common.errors.CapacityError`).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import FaultPolicy
+from repro.faults.report import FaultReport, LayerFaultStats
+
+__all__ = ["FaultInjector", "FaultPolicy", "FaultReport", "LayerFaultStats"]

@@ -1,0 +1,125 @@
+"""The deterministic fault injector.
+
+Every decision is a pure function of ``(policy.seed, channel, index)``
+where ``channel`` names the decision point (e.g. ``"transfer.shuffle"``)
+and ``index`` is a per-channel monotonic counter. Draws are produced by the
+splitmix64 finalizer over those three inputs — no global RNG state, so
+interleaving decisions across channels cannot perturb each other, and two
+runs that perform the same operations in the same order inject byte-
+identical fault schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.faults.policy import FaultPolicy
+from repro.faults.report import FaultReport
+
+_MASK64 = (1 << 64) - 1
+_TWO64 = float(1 << 64)
+
+#: Transfer fault kinds, in draw-partition order.
+FAULT_CORRUPT = "corrupt"
+FAULT_DROP = "drop"
+FAULT_LATENCY = "latency"
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a high-quality 64-bit mixing function."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _fnv1a64(text: str) -> int:
+    """FNV-1a over UTF-8 — a *stable* string hash (``hash()`` is salted)."""
+    state = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        state ^= byte
+        state = (state * 0x100000001B3) & _MASK64
+    return state
+
+
+class FaultInjector:
+    """Seeded fault oracle shared by every resilience layer of one run."""
+
+    def __init__(self, policy: Optional[FaultPolicy] = None):
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.report = FaultReport()
+        self._counters: Dict[str, int] = {}
+
+    # -- the deterministic draw ------------------------------------------------------
+
+    def draw(self, channel: str) -> float:
+        """Uniform [0, 1) draw; advances only ``channel``'s counter."""
+        index = self._counters.get(channel, 0)
+        self._counters[channel] = index + 1
+        mixed = splitmix64(
+            splitmix64(self.policy.seed ^ _fnv1a64(channel)) ^ index
+        )
+        return mixed / _TWO64
+
+    def operation_index(self, channel: str) -> int:
+        """How many draws ``channel`` has consumed so far."""
+        return self._counters.get(channel, 0)
+
+    # -- decision points ---------------------------------------------------------------
+
+    def transfer_fault(self, site: str) -> Optional[str]:
+        """Outcome of one transfer attempt at ``site``.
+
+        Returns ``"corrupt"``, ``"drop"``, ``"latency"``, or ``None`` —
+        one draw per attempt, partitioned by the policy's probabilities.
+        """
+        policy = self.policy
+        if policy.transfer_fault_prob <= 0.0:
+            return None
+        draw = self.draw(f"transfer.{site}")
+        if draw < policy.corruption_prob:
+            return FAULT_CORRUPT
+        if draw < policy.corruption_prob + policy.drop_prob:
+            return FAULT_DROP
+        if draw < policy.transfer_fault_prob:
+            return FAULT_LATENCY
+        return None
+
+    def corrupt_bytes(self, data: bytes, site: str) -> bytes:
+        """Deterministically damage ``data``: truncate or flip one byte."""
+        if not data:
+            return data
+        channel = f"corrupt.{site}"
+        if self.draw(channel) < self.policy.truncation_fraction:
+            keep = min(int(self.draw(channel) * len(data)), len(data) - 1)
+            return data[:keep]
+        position = min(int(self.draw(channel) * len(data)), len(data) - 1)
+        flip = 1 + min(int(self.draw(channel) * 255), 254)
+        mutated = bytearray(data)
+        mutated[position] ^= flip
+        return bytes(mutated)
+
+    def executor_lost(self) -> bool:
+        """Does the executor holding the just-produced map output die?"""
+        if self.policy.executor_loss_prob <= 0.0:
+            return False
+        return self.draw("executor") < self.policy.executor_loss_prob
+
+    def accelerator_fault(self, kind: str) -> bool:
+        """Does the accelerator overflow a fixed structure on this op?"""
+        if self.policy.accelerator_fault_prob <= 0.0:
+            return False
+        return (
+            self.draw(f"accelerator.{kind}")
+            < self.policy.accelerator_fault_prob
+        )
+
+    def heap_exhausted(self, site: str) -> bool:
+        """Does this deserialization hit an exhausted destination heap?"""
+        if self.policy.heap_exhaustion_prob <= 0.0:
+            return False
+        return self.draw(f"heap.{site}") < self.policy.heap_exhaustion_prob
+
+    def jitter(self, site: str) -> float:
+        """Uniform draw feeding retry-backoff jitter (seeded like faults)."""
+        return self.draw(f"backoff.{site}")

@@ -1,0 +1,113 @@
+"""Per-layer fault accounting.
+
+Every resilience layer records what the injector did to it and what it did
+about it. A fault is *injected* when the injector fires, *detected* when
+the layer noticed (checksum mismatch, missing transfer, caught
+``CapacityError``), *recovered* when a retry / re-execution / fallback made
+the operation succeed anyway, and a *fallback* when recovery switched to a
+software serializer. ``injected - detected`` therefore counts silent
+corruption, and ``detected - recovered`` counts faults that escalated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Canonical layer names, in reporting order.
+LAYERS = ("transfer", "executor", "accelerator", "heap")
+
+_COUNTER_NAMES = ("injected", "detected", "recovered", "fallbacks")
+
+
+@dataclass
+class LayerFaultStats:
+    """Counters for one resilience layer."""
+
+    injected: int = 0
+    detected: int = 0
+    recovered: int = 0
+    fallbacks: int = 0
+
+    def merge(self, other: "LayerFaultStats") -> None:
+        self.injected += other.injected
+        self.detected += other.detected
+        self.recovered += other.recovered
+        self.fallbacks += other.fallbacks
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in _COUNTER_NAMES}
+
+
+@dataclass
+class FaultReport:
+    """Injected / detected / recovered / fallback counts per layer."""
+
+    layers: Dict[str, LayerFaultStats] = field(default_factory=dict)
+
+    def layer(self, name: str) -> LayerFaultStats:
+        if name not in self.layers:
+            self.layers[name] = LayerFaultStats()
+        return self.layers[name]
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_injected(self, layer: str, count: int = 1) -> None:
+        self.layer(layer).injected += count
+
+    def record_detected(self, layer: str, count: int = 1) -> None:
+        self.layer(layer).detected += count
+
+    def record_recovered(self, layer: str, count: int = 1) -> None:
+        self.layer(layer).recovered += count
+
+    def record_fallback(self, layer: str, count: int = 1) -> None:
+        self.layer(layer).fallbacks += count
+
+    # -- aggregation ---------------------------------------------------------------
+
+    @property
+    def totals(self) -> LayerFaultStats:
+        total = LayerFaultStats()
+        for stats in self.layers.values():
+            total.merge(stats)
+        return total
+
+    def merge(self, other: "FaultReport") -> None:
+        for name, stats in other.layers.items():
+            self.layer(name).merge(stats)
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Stable (sorted) nested dict, for comparisons and persistence."""
+        return {
+            name: self.layers[name].as_dict() for name in sorted(self.layers)
+        }
+
+    def to_text(self) -> str:
+        """Deterministic plain-text rendering (byte-identical per seed)."""
+        from repro.analysis.report import ReportTable
+
+        table = ReportTable(
+            "Fault report",
+            ["Layer", "Injected", "Detected", "Recovered", "Fallbacks"],
+        )
+        ordered = [name for name in LAYERS if name in self.layers]
+        ordered += [name for name in sorted(self.layers) if name not in LAYERS]
+        for name in ordered:
+            stats = self.layers[name]
+            table.add_row(
+                name,
+                str(stats.injected),
+                str(stats.detected),
+                str(stats.recovered),
+                str(stats.fallbacks),
+            )
+        totals = self.totals
+        table.add_row(
+            "TOTAL",
+            str(totals.injected),
+            str(totals.detected),
+            str(totals.recovered),
+            str(totals.fallbacks),
+        )
+        return table.render()

@@ -50,6 +50,58 @@ class SerializedStream:
                 f"stream is {len(self.data)} bytes"
             )
 
+    # -- checksummed framing (transfer-path integrity) --------------------------
+
+    @property
+    def is_framed(self) -> bool:
+        """True when the data carries the checksummed frame header."""
+        from repro.formats.streams import looks_framed
+
+        return looks_framed(self.data)
+
+    def framed(self) -> "SerializedStream":
+        """Copy of this stream wrapped in the CRC32 frame (idempotent)."""
+        from repro.formats.streams import (
+            FRAME_HEADER_BYTES,
+            FRAME_SECTION,
+            frame_payload,
+        )
+
+        if self.is_framed:
+            return self
+        sections = dict(self.sections)
+        sections[FRAME_SECTION] = FRAME_HEADER_BYTES
+        return SerializedStream(
+            format_name=self.format_name,
+            data=frame_payload(self.data),
+            sections=sections,
+            object_count=self.object_count,
+            graph_bytes=self.graph_bytes,
+        )
+
+    def unframed(self) -> "SerializedStream":
+        """Verify the frame checksums and return the bare payload stream.
+
+        Raises :class:`repro.common.errors.CorruptionError` when the frame
+        is damaged, truncated, or missing — every ``deserialize`` of a
+        framed stream goes through this check.
+        """
+        from repro.formats.streams import FRAME_SECTION, unframe_payload
+
+        payload = unframe_payload(self.data)
+        sections = {
+            name: size
+            for name, size in self.sections.items()
+            if name != FRAME_SECTION
+        }
+        return SerializedStream(
+            format_name=self.format_name,
+            data=payload,
+            sections=sections,
+            object_count=self.object_count,
+            graph_bytes=self.graph_bytes,
+        )
+
 
 @dataclass
 class WorkProfile:

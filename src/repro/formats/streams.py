@@ -12,9 +12,70 @@ its optimized positive-int writes; signed values are zig-zag mapped first.
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Dict
 
-from repro.common.errors import FormatError
+from repro.common.errors import CorruptionError, FormatError
+
+
+# -- checksummed framing ------------------------------------------------------------
+#
+# A 16-byte frame protects a serialized payload on the transfer path
+# (shuffle / broadcast / collect):
+#
+#     magic(4) | payload_length u32 | payload_crc32 u32 | header_crc32 u32
+#
+# ``header_crc32`` covers the first 12 bytes, so a flip anywhere in the
+# header is caught even before the payload is inspected; ``payload_crc32``
+# covers the payload; the explicit length catches truncation. CRC32 detects
+# every error burst of <= 32 bits, so any single corrupted byte is caught.
+
+FRAME_MAGIC = b"\xc5\xea\x1f\x01"
+FRAME_HEADER_BYTES = 16
+FRAME_SECTION = "frame"
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap ``payload`` in the 16-byte checksummed frame."""
+    header = FRAME_MAGIC + struct.pack(
+        "<II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    )
+    header += struct.pack("<I", zlib.crc32(header) & 0xFFFFFFFF)
+    return header + payload
+
+
+def unframe_payload(data: bytes) -> bytes:
+    """Verify a framed stream and return the payload.
+
+    Raises :class:`CorruptionError` on any mismatch: bad magic, damaged
+    header, truncated payload, or payload digest failure.
+    """
+    if len(data) < FRAME_HEADER_BYTES:
+        raise CorruptionError(
+            f"framed stream too short: {len(data)} bytes < "
+            f"{FRAME_HEADER_BYTES}-byte frame header"
+        )
+    header = data[:12]
+    (header_crc,) = struct.unpack("<I", data[12:16])
+    if zlib.crc32(header) & 0xFFFFFFFF != header_crc:
+        raise CorruptionError("frame header checksum mismatch")
+    if data[:4] != FRAME_MAGIC:
+        raise CorruptionError("bad frame magic")
+    length, payload_crc = struct.unpack("<II", data[4:12])
+    payload = data[FRAME_HEADER_BYTES:]
+    if length != len(payload):
+        raise CorruptionError(
+            f"frame declares {length} payload bytes, got {len(payload)} "
+            f"(truncated or padded transfer)"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != payload_crc:
+        raise CorruptionError("payload checksum mismatch")
+    return payload
+
+
+def looks_framed(data: bytes) -> bool:
+    """Cheap sniff: does ``data`` start with the frame magic?"""
+    return len(data) >= FRAME_HEADER_BYTES and data[:4] == FRAME_MAGIC
 
 
 class StreamWriter:
@@ -159,6 +220,14 @@ class StreamReader:
             byte = self.read_u8()
             value |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                # A 10th byte with any bit above bit 0 set would decode to
+                # >= 2^64: the encoder never emits it, so reject it rather
+                # than silently overflowing the u64 value space.
+                if value >= 1 << 64:
+                    raise FormatError(
+                        f"varint decodes to {value} (>= 2^64); final byte "
+                        f"{byte:#04x} at shift {shift} overflows u64"
+                    )
                 return value
             shift += 7
 

@@ -20,7 +20,6 @@ References are stored as absolute 64-bit heap addresses; ``0`` is null.
 
 from __future__ import annotations
 
-import struct
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.common.errors import HeapError

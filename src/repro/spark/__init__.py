@@ -18,6 +18,7 @@ from repro.spark.backend import (
     SoftwareBackend,
 )
 from repro.spark.engine import MiniSparkContext, PartitionedDataset
+from repro.spark.transfer import ResilientTransfer, RetryPolicy
 
 __all__ = [
     "TimeBreakdown",
@@ -27,4 +28,6 @@ __all__ = [
     "CerealBackend",
     "MiniSparkContext",
     "PartitionedDataset",
+    "ResilientTransfer",
+    "RetryPolicy",
 ]

@@ -1,8 +1,12 @@
 """The six S/D-intensive HiBench applications of paper Table III.
 
-Each application module exposes ``run(backend, scale=1.0) -> AppResult``.
-``scale`` multiplies the record counts (1.0 = the repository's default
-scaled-down size; Table III's full inputs are ~4096x larger).
+Each application module exposes
+``run(backend, scale=1.0, injector=None, frame_streams=False,
+retry_policy=None) -> AppResult``. ``scale`` multiplies the record counts
+(1.0 = the repository's default scaled-down size; Table III's full inputs
+are ~4096x larger). ``injector``/``frame_streams`` enable chaos mode: pass
+a :class:`repro.faults.FaultInjector` (and hand the same injector to a
+``CerealBackend``) to exercise the resilience layers deterministically.
 """
 
 from repro.spark.apps.base import AppResult

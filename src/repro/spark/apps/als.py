@@ -31,8 +31,19 @@ _ITERATIONS = 3
 _SOLVE_INSTR = 1_100_000.0
 
 
-def run_als(backend: SDBackend, scale: float = 1.0) -> AppResult:
-    context = make_context(backend)
+def run_als(
+    backend: SDBackend,
+    scale: float = 1.0,
+    injector=None,
+    frame_streams: bool = False,
+    retry_policy=None,
+) -> AppResult:
+    context = make_context(
+        backend,
+        injector=injector,
+        frame_streams=frame_streams,
+        retry_policy=retry_policy,
+    )
     registry = context.registry
     factor_klass = ensure_klass(
         registry,

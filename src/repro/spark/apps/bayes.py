@@ -30,8 +30,19 @@ _DOC_BYTES = 1600  # raw text per document
 _TOKENIZE_INSTR = 2_000_000.0
 
 
-def run_bayes(backend: SDBackend, scale: float = 1.0) -> AppResult:
-    context = make_context(backend)
+def run_bayes(
+    backend: SDBackend,
+    scale: float = 1.0,
+    injector=None,
+    frame_streams: bool = False,
+    retry_policy=None,
+) -> AppResult:
+    context = make_context(
+        backend,
+        injector=injector,
+        frame_streams=frame_streams,
+        retry_policy=retry_policy,
+    )
     registry = context.registry
     count_klass = ensure_klass(
         registry,

@@ -30,8 +30,19 @@ _HOPS = 2
 _COMBINE_INSTR_PER_EDGE = 180_000.0
 
 
-def run_nweight(backend: SDBackend, scale: float = 1.0) -> AppResult:
-    context = make_context(backend)
+def run_nweight(
+    backend: SDBackend,
+    scale: float = 1.0,
+    injector=None,
+    frame_streams: bool = False,
+    retry_policy=None,
+) -> AppResult:
+    context = make_context(
+        backend,
+        injector=injector,
+        frame_streams=frame_streams,
+        retry_policy=retry_policy,
+    )
     registry = context.registry
     edge_klass = ensure_klass(
         registry,

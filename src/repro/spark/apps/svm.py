@@ -31,8 +31,19 @@ _ITERATIONS = 12
 _GRADIENT_INSTR_PER_POINT = 20_000.0
 
 
-def run_svm(backend: SDBackend, scale: float = 1.0) -> AppResult:
-    context = make_context(backend)
+def run_svm(
+    backend: SDBackend,
+    scale: float = 1.0,
+    injector=None,
+    frame_streams: bool = False,
+    retry_policy=None,
+) -> AppResult:
+    context = make_context(
+        backend,
+        injector=injector,
+        frame_streams=frame_streams,
+        retry_policy=retry_policy,
+    )
     registry = context.registry
     point_klass = ensure_klass(
         registry,

@@ -29,8 +29,19 @@ _PARSE_INSTR = 60_000.0  # per scaled record: full-scale block parse
 _SORT_INSTR_PER_CMP = 6_000.0
 
 
-def run_terasort(backend: SDBackend, scale: float = 1.0) -> AppResult:
-    context = make_context(backend)
+def run_terasort(
+    backend: SDBackend,
+    scale: float = 1.0,
+    injector=None,
+    frame_streams: bool = False,
+    retry_policy=None,
+) -> AppResult:
+    context = make_context(
+        backend,
+        injector=injector,
+        frame_streams=frame_streams,
+        retry_policy=retry_policy,
+    )
     registry = context.registry
     record_klass = ensure_klass(
         registry,

@@ -22,7 +22,9 @@ from typing import Optional, Tuple
 
 from repro.cereal.accelerator import CerealAccelerator
 from repro.common.config import SystemConfig
+from repro.common.errors import CapacityError
 from repro.cpu.harness import SoftwarePlatform
+from repro.faults.injector import FaultInjector
 from repro.formats.base import SerializedStream, Serializer
 from repro.jvm.heap import Heap, HeapObject
 from repro.spark.metrics import SDOperation
@@ -86,6 +88,8 @@ class SoftwareBackend(SDBackend):
         return result.stream, op
 
     def deserialize(self, stream: SerializedStream, heap: Heap, site: str):
+        if stream.is_framed:
+            stream = stream.unframed()  # verify checksums before decoding
         result, run = self.platform.run_deserialize(self.serializer, stream, heap)
         time_ns = run.timing.time_ns + self._framework_ns(stream.size_bytes)
         op = SDOperation(
@@ -102,7 +106,20 @@ class SoftwareBackend(SDBackend):
 
 
 class CerealBackend(SDBackend):
-    """The Cereal accelerator as Spark's serializer."""
+    """The Cereal accelerator as Spark's serializer.
+
+    Degrades gracefully: when the accelerator raises
+    :class:`~repro.common.errors.CapacityError` (a fixed-capacity
+    CAM/SRAM/queue overflowed — possibly injected by a
+    :class:`~repro.faults.FaultInjector`), the operation transparently
+    falls back to software. Serialize-side faults run the configured Kryo
+    fallback (the stream's ``format_name`` routes its later deserialize to
+    the same serializer); deserialize-side faults on an existing Cereal
+    stream decode it with the software Cereal codec, since the wire format
+    is already fixed. Every fallback is marked on its
+    :class:`~repro.spark.metrics.SDOperation` and counted in the fault
+    report's ``accelerator`` layer.
+    """
 
     name = "cereal"
 
@@ -111,6 +128,8 @@ class CerealBackend(SDBackend):
         accelerator: CerealAccelerator,
         stream_ns_per_byte: float = _CEREAL_STREAM_NS_PER_BYTE,
         keep_streams: bool = False,
+        injector: Optional[FaultInjector] = None,
+        fallback: Optional[SoftwareBackend] = None,
     ):
         self.accelerator = accelerator
         self.stream_ns_per_byte = stream_ns_per_byte
@@ -118,12 +137,61 @@ class CerealBackend(SDBackend):
         # analysis (the Figure 16 compression bench decodes them).
         self.keep_streams = keep_streams
         self.streams = []
+        self.injector = injector
+        self._fallback = fallback
+        self._software_codec: Optional[SoftwareBackend] = None
+        self.fallback_count = 0
+
+    @property
+    def fallback(self) -> SoftwareBackend:
+        """Software serializer used when the accelerator faults (Kryo)."""
+        if self._fallback is None:
+            from repro.formats.kryo import KryoSerializer
+
+            # Shares the accelerator's registration so every RegisterClass'd
+            # type is already known to the fallback.
+            self._fallback = SoftwareBackend(
+                KryoSerializer(self.accelerator.registration)
+            )
+        return self._fallback
+
+    def _software_cereal(self) -> SoftwareBackend:
+        """Software decode path for already-produced Cereal streams."""
+        if self._software_codec is None:
+            self._software_codec = SoftwareBackend(self.accelerator.codec)
+        return self._software_codec
 
     def _framework_ns(self, nbytes: int) -> float:
         return nbytes * self.stream_ns_per_byte
 
+    def _record_fallback(self, op: SDOperation, injected: bool) -> SDOperation:
+        op.fallback = True
+        self.fallback_count += 1
+        if self.injector is not None:
+            report = self.injector.report
+            if injected:
+                report.record_injected("accelerator")
+            report.record_detected("accelerator")
+            report.record_recovered("accelerator")
+            report.record_fallback("accelerator")
+        return op
+
     def serialize(self, root: HeapObject, site: str):
-        result, timing, _ = self.accelerator.serialize(root)
+        injected = False
+        try:
+            if self.injector is not None and self.injector.accelerator_fault(
+                "serialize"
+            ):
+                injected = True
+                raise CapacityError(
+                    "injected: MAI request queue overflow during serialize"
+                )
+            result, timing, _ = self.accelerator.serialize(root)
+        except CapacityError:
+            stream, op = self.fallback.serialize(root, site)
+            if self.keep_streams:
+                self.streams.append(stream)
+            return stream, self._record_fallback(op, injected)
         if self.keep_streams:
             self.streams.append(result.stream)
         time_ns = timing.elapsed_ns + self._framework_ns(result.stream.size_bytes)
@@ -140,7 +208,27 @@ class CerealBackend(SDBackend):
         return result.stream, op
 
     def deserialize(self, stream: SerializedStream, heap: Heap, site: str):
-        root, timing, _ = self.accelerator.deserialize(stream, heap)
+        if stream.is_framed:
+            stream = stream.unframed()  # verify checksums before decoding
+        if stream.format_name != self.accelerator.codec.name:
+            # Produced by the software fallback serializer; only that
+            # serializer can decode it.
+            root, op = self.fallback.deserialize(stream, heap, site)
+            return root, self._record_fallback(op, injected=False)
+        injected = False
+        try:
+            if self.injector is not None and self.injector.accelerator_fault(
+                "deserialize"
+            ):
+                injected = True
+                raise CapacityError(
+                    "injected: Class ID Table / reorder buffer overflow "
+                    "during deserialize"
+                )
+            root, timing, _ = self.accelerator.deserialize(stream, heap)
+        except CapacityError:
+            root, op = self._software_cereal().deserialize(stream, heap, site)
+            return root, self._record_fallback(op, injected)
         time_ns = timing.elapsed_ns + self._framework_ns(stream.size_bytes)
         op = SDOperation(
             kind="deserialize",

@@ -28,12 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ExecutorLostError
+from repro.faults.injector import FaultInjector
 from repro.formats.base import SerializedStream
 from repro.jvm.heap import Heap, HeapObject
 from repro.jvm.klass import FieldKind, KlassRegistry
 from repro.spark.backend import SDBackend
 from repro.spark.metrics import TimeBreakdown
+from repro.spark.transfer import ResilientTransfer, RetryPolicy
 
 _COMPUTE_IPC = 2.5  # user numeric code pipelines better than S/D code
 _CLOCK_GHZ = 3.6
@@ -51,6 +53,9 @@ class MiniSparkContext:
         backend: SDBackend,
         registry: Optional[KlassRegistry] = None,
         heap_bytes: int = 512 * 1024 * 1024,
+        injector: Optional[FaultInjector] = None,
+        frame_streams: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.backend = backend
         self.registry = registry if registry is not None else KlassRegistry()
@@ -58,6 +63,13 @@ class MiniSparkContext:
         self.driver_heap = Heap(size_bytes=heap_bytes // 4, registry=self.registry)
         self.breakdown = TimeBreakdown()
         self._last_alloc_mark = 0
+        self.injector = injector
+        self.transfer = ResilientTransfer(
+            self.breakdown,
+            injector=injector,
+            retry=retry_policy,
+            frame_streams=frame_streams,
+        )
 
     # -- time accounting -------------------------------------------------------------
 
@@ -104,6 +116,14 @@ class MiniSparkContext:
         self, stream: SerializedStream, site: str, heap: Optional[Heap] = None
     ) -> List[HeapObject]:
         heap = heap or self.executor_heap
+        if self.injector is not None and self.injector.heap_exhausted(site):
+            # Destination heap exhausted: run an emergency collection big
+            # enough to evacuate the incoming graph, then proceed.
+            pause_bytes = max(stream.graph_bytes, stream.size_bytes)
+            self.breakdown.gc_ns += pause_bytes * _GC_NS_PER_BYTE
+            self.injector.report.record_injected("heap")
+            self.injector.report.record_detected("heap")
+            self.injector.report.record_recovered("heap")
         root, op = self.backend.deserialize(stream, heap, site)
         self.breakdown.add_operation(op)
         self._account_gc()
@@ -126,8 +146,9 @@ class MiniSparkContext:
         self.breakdown.add_operation(op)
         replicas = []
         for _ in range(num_partitions):
+            delivered = self.transfer.deliver(stream, "broadcast")
             replica, read_op = self.backend.deserialize(
-                stream, self.executor_heap, "broadcast"
+                delivered, self.executor_heap, "broadcast"
             )
             self.breakdown.add_operation(read_op)
             replicas.append(replica)
@@ -174,6 +195,8 @@ class CachedDataset:
                     graph_bytes=template.graph_bytes,
                     objects=template.objects,
                     dram_bytes=template.dram_bytes,
+                    kernel_time_ns=template.kernel_time_ns,
+                    fallback=template.fallback,
                 )
             )
             # The rebuilt objects are fresh allocations the collector must
@@ -223,9 +246,16 @@ class PartitionedDataset:
         num_partitions: Optional[int] = None,
         instructions_per_record: float = 40.0,
     ) -> "PartitionedDataset":
-        """Hash-shuffle: serialize map-side buckets, deserialize reduce-side."""
+        """Hash-shuffle: serialize map-side buckets, deserialize reduce-side.
+
+        When the fault injector declares a map-side executor lost, the
+        bucket it produced is gone; the records that produced it are still
+        known (the lineage), so the map task re-runs for that bucket —
+        re-grouping compute plus a fresh serialize — exactly Spark's
+        lineage-based stage recovery, bounded by the retry policy.
+        """
         num_partitions = num_partitions or self.num_partitions
-        buckets: Dict[int, List[List[HeapObject]]] = {
+        buckets: Dict[int, List[SerializedStream]] = {
             target: [] for target in range(num_partitions)
         }
         for partition in self.partitions:
@@ -236,17 +266,50 @@ class PartitionedDataset:
             self.context.account_compute(instructions_per_record * len(partition))
             for target, records in grouped.items():
                 stream = self.context.serialize_bucket(records, site="shuffle")
-                buckets[target].append(stream)  # type: ignore[arg-type]
+                stream = self._recover_lost_bucket(
+                    stream, records, instructions_per_record
+                )
+                buckets[target].append(stream)
 
         out: List[List[HeapObject]] = []
         for target in range(num_partitions):
             merged: List[HeapObject] = []
             for stream in buckets[target]:
+                delivered = self.context.transfer.deliver(stream, "shuffle")
                 merged.extend(
-                    self.context.deserialize_bucket(stream, site="shuffle")
+                    self.context.deserialize_bucket(delivered, site="shuffle")
                 )
             out.append(merged)
         return PartitionedDataset(self.context, out)
+
+    def _recover_lost_bucket(
+        self,
+        stream: SerializedStream,
+        records: List[HeapObject],
+        instructions_per_record: float,
+    ) -> SerializedStream:
+        """Re-execute the map task while the injector keeps killing it."""
+        injector = self.context.injector
+        if injector is None:
+            return stream
+        attempts = 0
+        while injector.executor_lost():
+            injector.report.record_injected("executor")
+            injector.report.record_detected("executor")
+            attempts += 1
+            if attempts > self.context.transfer.retry.max_retries:
+                raise ExecutorLostError(
+                    f"map executor lost {attempts} consecutive times; "
+                    f"lineage re-execution budget exhausted"
+                )
+            # Lineage re-execution: re-run the grouping compute and
+            # re-serialize the bucket from its source records.
+            self.context.account_compute(
+                instructions_per_record * len(records)
+            )
+            stream = self.context.serialize_bucket(records, site="shuffle")
+            injector.report.record_recovered("executor")
+        return stream
 
     # -- caching -------------------------------------------------------------------------------
 
@@ -282,9 +345,10 @@ class PartitionedDataset:
             if not partition:
                 continue
             stream = self.context.serialize_bucket(partition, site="collect")
+            delivered = self.context.transfer.deliver(stream, "collect")
             results.extend(
                 self.context.deserialize_bucket(
-                    stream, site="collect", heap=self.context.driver_heap
+                    delivered, site="collect", heap=self.context.driver_heap
                 )
             )
         return results

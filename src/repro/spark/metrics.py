@@ -24,6 +24,9 @@ class SDOperation:
     objects: int
     dram_bytes: int = 0
     kernel_time_ns: float = 0.0  # serializer/accelerator time alone
+    #: True when the accelerator faulted and a software serializer ran the
+    #: operation instead (graceful degradation).
+    fallback: bool = False
 
 
 @dataclass
@@ -39,6 +42,9 @@ class TimeBreakdown:
     io_ns: float = 0.0
     serialize_ns: float = 0.0
     deserialize_ns: float = 0.0
+    #: Time spent recovering from injected/transient faults: retry backoff,
+    #: re-fetch wire time, latency spikes. Zero on a fault-free run.
+    retry_ns: float = 0.0
     operations: List[SDOperation] = field(default_factory=list)
 
     @property
@@ -47,7 +53,10 @@ class TimeBreakdown:
 
     @property
     def total_ns(self) -> float:
-        return self.compute_ns + self.gc_ns + self.io_ns + self.sd_ns
+        return (
+            self.compute_ns + self.gc_ns + self.io_ns + self.sd_ns
+            + self.retry_ns
+        )
 
     @property
     def sd_fraction(self) -> float:
@@ -59,12 +68,15 @@ class TimeBreakdown:
     def fractions(self) -> Dict[str, float]:
         total = self.total_ns
         if total <= 0:
-            return {"compute": 0.0, "gc": 0.0, "io": 0.0, "sd": 0.0}
+            return {
+                "compute": 0.0, "gc": 0.0, "io": 0.0, "sd": 0.0, "retry": 0.0
+            }
         return {
             "compute": self.compute_ns / total,
             "gc": self.gc_ns / total,
             "io": self.io_ns / total,
             "sd": self.sd_ns / total,
+            "retry": self.retry_ns / total,
         }
 
     def add_operation(self, op: SDOperation) -> None:
@@ -80,6 +92,7 @@ class TimeBreakdown:
         self.io_ns += other.io_ns
         self.serialize_ns += other.serialize_ns
         self.deserialize_ns += other.deserialize_ns
+        self.retry_ns += other.retry_ns
         self.operations.extend(other.operations)
 
     @property
@@ -93,3 +106,8 @@ class TimeBreakdown:
     @property
     def deserialize_count(self) -> int:
         return sum(1 for op in self.operations if op.kind == "deserialize")
+
+    @property
+    def fallback_count(self) -> int:
+        """Operations the accelerator handed to the software fallback."""
+        return sum(1 for op in self.operations if op.fallback)

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.cereal import CerealAccelerator
 from repro.cereal.du import DUWorkload
-from repro.common.config import CerealConfig
 from repro.formats import CerealSerializer, ClassRegistration, graphs_equivalent
 from repro.jvm import Heap
 from tests.test_serializers import (

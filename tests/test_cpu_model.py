@@ -5,7 +5,7 @@ import pytest
 from repro.common.config import HostCPUConfig, SystemConfig
 from repro.cpu import CacheHierarchy, CPUCostModel, SoftwarePlatform
 from repro.cpu.cache import CacheStats
-from repro.formats import JavaSerializer, KryoSerializer
+from repro.formats import KryoSerializer
 from repro.formats.base import WorkProfile
 from repro.jvm import Heap
 from repro.memory.trace import AccessKind, MemoryAccess

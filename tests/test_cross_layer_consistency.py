@@ -14,7 +14,7 @@ from repro.cereal import CerealAccelerator
 from repro.cereal.du import DUWorkload
 from repro.formats.cereal_format import CerealSerializer
 from repro.jvm import Heap
-from repro.workloads import MICROBENCH_CONFIGS, build_microbench
+from repro.workloads import build_microbench
 from repro.workloads.micro import register_micro_klasses
 
 

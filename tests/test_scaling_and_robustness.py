@@ -136,3 +136,62 @@ def _walk_safely(root, limit=10_000):
         count += 1
         if count > limit:
             raise AssertionError("corrupted graph walk did not terminate")
+
+
+@pytest.mark.parametrize("serializer_kind", _SERIALIZER_KINDS)
+class TestFramedCorruptionDetection:
+    """With checksummed framing, corruption detection must be *total*.
+
+    The unframed contract above is fail-safely: decoders may crash with a
+    library error or produce a structurally valid (but wrong) graph. The
+    CRC32 frame upgrades that to fail-loudly: any corrupted byte —
+    header or payload — raises :class:`CorruptionError`, so no silently
+    wrong graph can ever leave the transfer layer.
+    """
+
+    @_SETTINGS
+    @given(position=st.integers(0, 10_000), flip=st.integers(1, 255))
+    def test_framed_corruption_always_detected(
+        self, serializer_kind, position, flip
+    ):
+        from repro.common.errors import CorruptionError
+
+        registry = make_registry()
+        heap = Heap(registry=registry)
+        serializer = make_serializer(serializer_kind, registry)
+        framed = serializer.serialize(build_tree(heap, depth=4)).stream.framed()
+        corrupted = SerializedStream(
+            format_name=framed.format_name,
+            data=_corrupt(framed.data, position, flip),
+            sections=dict(framed.sections),
+        )
+        with pytest.raises(CorruptionError):
+            corrupted.unframed()
+
+    @_SETTINGS
+    @given(cut=st.integers(1, 200))
+    def test_framed_truncation_always_detected(self, serializer_kind, cut):
+        from repro.common.errors import CorruptionError
+
+        registry = make_registry()
+        heap = Heap(registry=registry)
+        serializer = make_serializer(serializer_kind, registry)
+        framed = serializer.serialize(build_tree(heap, depth=4)).stream.framed()
+        truncated = SerializedStream(
+            format_name=framed.format_name,
+            data=framed.data[: max(0, len(framed.data) - cut)],
+            sections=dict(framed.sections),
+        )
+        with pytest.raises(CorruptionError):
+            truncated.unframed()
+
+    def test_intact_frame_round_trips(self, serializer_kind):
+        registry = make_registry()
+        heap = Heap(registry=registry)
+        receiver = Heap(registry=registry)
+        serializer = make_serializer(serializer_kind, registry)
+        stream = serializer.serialize(build_tree(heap, depth=4)).stream
+        recovered = stream.framed().unframed()
+        assert recovered.data == stream.data
+        result = serializer.deserialize(recovered, receiver)
+        assert result.root.klass.name

@@ -81,6 +81,53 @@ class TestVarints:
         with pytest.raises(FormatError):
             reader.read_varint()
 
+    def test_tenth_byte_overflow_rejected(self):
+        # Nine continuation bytes put the 10th byte at shift 63: any final
+        # byte above 0x01 decodes past 2^64 and must be rejected, not
+        # silently wrapped or returned as an oversized Python int.
+        for final in (0x02, 0x03, 0x7F):
+            reader = StreamReader(b"\x80" * 9 + bytes([final]))
+            with pytest.raises(FormatError):
+                reader.read_varint()
+
+    def test_tenth_byte_msb_only_is_valid(self):
+        # 2^63 encodes as nine 0x80 continuation bytes + final 0x01.
+        reader = StreamReader(b"\x80" * 9 + b"\x01")
+        assert reader.read_varint() == 1 << 63
+
+    def test_u64_max_round_trip(self):
+        writer = StreamWriter()
+        writer.write_varint(2**64 - 1, "v")
+        assert StreamReader(writer.getvalue()).read_varint() == 2**64 - 1
+
+    @pytest.mark.parametrize("value", [2**63 - 1, -(2**63), -(2**63) + 1])
+    def test_signed_boundaries_round_trip(self, value):
+        writer = StreamWriter()
+        writer.write_signed_varint(value, "v")
+        assert StreamReader(writer.getvalue()).read_signed_varint() == value
+
+    @given(st.integers(min_value=2**62, max_value=2**64 - 1))
+    def test_unsigned_high_range_round_trip(self, value):
+        writer = StreamWriter()
+        writer.write_varint(value, "v")
+        reader = StreamReader(writer.getvalue())
+        decoded = reader.read_varint()
+        assert decoded == value
+        assert decoded < 1 << 64
+
+    @given(
+        st.one_of(
+            st.integers(min_value=-(2**63), max_value=-(2**63) + 1000),
+            st.integers(min_value=2**63 - 1000, max_value=2**63 - 1),
+        )
+    )
+    def test_signed_boundary_neighborhood_round_trip(self, value):
+        writer = StreamWriter()
+        writer.write_signed_varint(value, "v")
+        decoded = StreamReader(writer.getvalue()).read_signed_varint()
+        assert decoded == value
+        assert -(1 << 63) <= decoded < 1 << 63
+
 
 class TestStrings:
     @given(st.text(max_size=100))

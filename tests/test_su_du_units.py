@@ -9,7 +9,7 @@ from repro.cereal.du import (
     _StreamPrefetcher,
 )
 from repro.cereal.mai import MemoryAccessInterface
-from repro.cereal.su import OUTPUT_REGION_BASE, SerializationUnit, _BufferedStore
+from repro.cereal.su import SerializationUnit, _BufferedStore
 from repro.cereal.tables import ClassIDTable, KlassPointerTable
 from repro.common.config import CerealConfig
 from repro.common.errors import SimulationError
