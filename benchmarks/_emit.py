@@ -1,0 +1,63 @@
+"""Machine-readable benchmark output shared by every ``bench_*.py``.
+
+The human-readable ``ReportTable`` text under ``benchmarks/results/``
+records what a run looked like; the ``BENCH_<name>.json`` files written
+here record the numbers themselves, so the performance trajectory across
+commits can be diffed and plotted mechanically. One schema for all
+benches:
+
+    {
+      "schema_version": 1,
+      "bench": "<name>",
+      "meta": {...seed, grid, calibration...},
+      "results": {...bench-specific payload...},
+      "checks": {"<check>": {"ok": bool, "detail": "..."}, ...}   # optional
+    }
+
+Keys are sorted and no wall-clock timestamps are embedded, so a seeded
+bench emits byte-identical JSON run-to-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+SCHEMA_VERSION = 1
+
+
+def bench_json_path(results_dir: str, name: str) -> str:
+    return os.path.join(results_dir, f"BENCH_{name}.json")
+
+
+def emit_json(
+    results_dir: str,
+    name: str,
+    results: Dict,
+    meta: Optional[Dict] = None,
+    checks: Optional[Dict] = None,
+) -> str:
+    """Write ``BENCH_<name>.json``; returns the path."""
+    if not results:
+        raise ValueError(f"refusing to emit empty results for bench {name!r}")
+    document: Dict = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": name,
+        "meta": meta or {},
+        "results": results,
+    }
+    if checks is not None:
+        document["checks"] = checks
+    os.makedirs(results_dir, exist_ok=True)
+    path = bench_json_path(results_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(results_dir: str, name: str) -> Dict:
+    """Read a previously emitted ``BENCH_<name>.json``."""
+    with open(bench_json_path(results_dir, name), "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -10,6 +10,7 @@ rather than silently decoded.
 
 from __future__ import annotations
 
+from _emit import emit_json
 from repro.analysis import ReportTable
 from repro.cereal import CerealAccelerator
 from repro.faults import FaultInjector, FaultPolicy
@@ -65,6 +66,7 @@ def test_fault_recovery_sweep(benchmark, results_dir):
             ],
         )
         slowdowns = {}
+        rows = []
         for backend_name in ("java-builtin", "kryo", "cereal"):
             baseline_ns = None
             for probability in _PROBABILITIES:
@@ -83,6 +85,19 @@ def test_fault_recovery_sweep(benchmark, results_dir):
                     fallbacks = accelerator.fallbacks
                 else:
                     retries = reexecs = fallbacks = 0
+                rows.append(
+                    {
+                        "backend": backend_name,
+                        "fault_probability": probability,
+                        "total_ns": total_ns,
+                        "slowdown": slowdown,
+                        "retry_ns": result.breakdown.retry_ns,
+                        "retries": retries,
+                        "reexecutions": reexecs,
+                        "fallbacks": fallbacks,
+                        "faults": report.as_dict() if report is not None else {},
+                    }
+                )
                 table.add_row(
                     backend_name,
                     f"{probability * 100:.0f}%",
@@ -99,6 +114,16 @@ def test_fault_recovery_sweep(benchmark, results_dir):
         )
         table.show()
         table.save(results_dir, "fault_recovery")
+        emit_json(
+            results_dir,
+            "fault_recovery",
+            {"sweep": rows},
+            meta={
+                "app": _APP,
+                "seed": _SEED,
+                "probabilities": list(_PROBABILITIES),
+            },
+        )
         return slowdowns
 
     slowdowns = benchmark.pedantic(build, rounds=1, iterations=1)

@@ -5,13 +5,14 @@ be summarized next to the timing tables (``FaultReport.to_text()`` renders
 through :class:`ReportTable`).
 """
 
-from repro.analysis.report import ReportTable, format_speedup, geomean
+from repro.analysis.report import ReportTable, format_speedup, geomean, percentile
 from repro.faults.report import FaultReport, LayerFaultStats
 
 __all__ = [
     "ReportTable",
     "format_speedup",
     "geomean",
+    "percentile",
     "FaultReport",
     "LayerFaultStats",
 ]

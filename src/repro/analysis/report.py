@@ -25,6 +25,26 @@ def format_speedup(value: float) -> str:
     return f"{value:.2f}x"
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in [0, 100]).
+
+    The tail-latency summaries (p50/p95/p99/p999) all route through this
+    one definition so every report agrees on what "p99" means.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        raise ValueError("cannot take a percentile of no samples")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = math.floor(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
 class ReportTable:
     """An aligned text table with a title and optional footnotes."""
 

@@ -42,6 +42,8 @@ _ORDER = [
     "ablation_mai_coalescing",
     "ablation_mai_entries",
     "ablation_coherence",
+    "fault_recovery",
+    "service_scaling",
 ]
 
 

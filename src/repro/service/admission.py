@@ -1,0 +1,88 @@
+"""Admission control: bounded queues, load shedding, and degrade routing.
+
+The service is open-loop — clients do not slow down when the server falls
+behind — so backpressure has to be explicit. The controller tracks how
+many admitted requests are anywhere in the system (coalescer, shard
+queues, software lane) and applies a two-threshold policy:
+
+* above ``degrade_threshold`` occupancy, new requests are *degraded*:
+  admitted, but routed to the CPU software serializers instead of the
+  accelerator shards. Software service is slower per request but adds
+  capacity orthogonal to the saturated shard pools, trading latency for
+  goodput exactly like production sidecar fallbacks do;
+* at full occupancy (``max_outstanding``), new requests are *shed*:
+  rejected immediately, counted against goodput, and excluded from the
+  latency distribution (the client got an error, not a slow answer).
+
+A third degrade source lives in the server: accelerator capacity faults
+(from :mod:`repro.faults`) reroute already-dispatched batches to the
+software lane. Those are counted separately as fault fallbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+DECISION_ADMIT = "admit"
+DECISION_DEGRADE = "degrade"
+DECISION_SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounded-queue geometry and the degrade threshold."""
+
+    max_outstanding: int = 1024
+    degrade_threshold: float = 0.75
+    enable_degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding <= 0:
+            raise ConfigError("max_outstanding must be positive")
+        if not 0.0 < self.degrade_threshold <= 1.0:
+            raise ConfigError("degrade_threshold must be in (0, 1]")
+
+
+class AdmissionController:
+    """Occupancy tracker making the admit/degrade/shed decision."""
+
+    def __init__(self, config: AdmissionConfig = AdmissionConfig()):
+        self.config = config
+        self.outstanding = 0
+        self.peak_outstanding = 0
+        self.admitted = 0
+        self.degraded = 0
+        self.shed = 0
+
+    def decide(self) -> str:
+        """Decision for one arriving request; occupies a slot unless shed."""
+        if self.outstanding >= self.config.max_outstanding:
+            self.shed += 1
+            return DECISION_SHED
+        decision = DECISION_ADMIT
+        if (
+            self.config.enable_degrade
+            and self.outstanding
+            >= self.config.degrade_threshold * self.config.max_outstanding
+        ):
+            decision = DECISION_DEGRADE
+            self.degraded += 1
+        self.admitted += 1
+        self.outstanding += 1
+        self.peak_outstanding = max(self.peak_outstanding, self.outstanding)
+        return decision
+
+    def release(self, count: int = 1) -> None:
+        """A previously admitted request completed; free its slot."""
+        if count > self.outstanding:
+            raise ConfigError(
+                f"releasing {count} requests but only {self.outstanding} "
+                f"are outstanding"
+            )
+        self.outstanding -= count
+
+    @property
+    def total_seen(self) -> int:
+        return self.admitted + self.shed

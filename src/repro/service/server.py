@@ -1,0 +1,485 @@
+"""The event-loop serialization server: shards, routing, degrade lane.
+
+:class:`SerializationServer` advances virtual time over an open-loop
+request sequence. Each arriving request passes admission control, joins
+the batch coalescer, and — when its batch closes — is dispatched to one of
+N accelerator *shards* (each shard owns a full Cereal device:
+:class:`~repro.cereal.accelerator.CerealAccelerator` plus
+:class:`~repro.cereal.device_sim.DeviceSimulator`) or to the CPU
+*software lane* when admission degrades it or a capacity fault knocks the
+batch off the accelerator path.
+
+Two shard engines share one scheduling contract:
+
+* ``analytic`` (default): replays the catalog's cached single-operation
+  timings through the same earliest-free-unit dispatch the device
+  simulator uses, plus a per-batch dispatch overhead on every unit a
+  batch touches and the shared-DRAM bandwidth floor. Fast enough for
+  million-request sweeps.
+* ``device``: runs the real :class:`DeviceSimulator` (functional codec +
+  cycle model, shared-channel contention) per batch. Slow but exact; the
+  tests use it to validate the analytic engine's scheduling.
+
+Virtual time is event-driven: arrivals, batch deadlines, and completions
+are the only points where state changes, so a 10k-request run takes
+milliseconds of wall clock in analytic mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cereal.accelerator import CerealAccelerator
+from repro.cereal.device_sim import DeviceSimulator
+from repro.common.config import CerealConfig, DRAMConfig
+from repro.common.errors import ConfigError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.formats.verify import graphs_equivalent
+from repro.jvm.heap import Heap
+from repro.service.admission import (
+    DECISION_DEGRADE,
+    DECISION_SHED,
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.service.batching import Batch, BatchCoalescer
+from repro.service.slo import (
+    BACKEND_CEREAL,
+    BACKEND_NONE,
+    BACKEND_SOFTWARE,
+    OUTCOME_DEGRADED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    RequestRecord,
+    SLOReport,
+)
+from repro.service.workload import (
+    KIND_SERIALIZE,
+    ServiceCatalog,
+    ServiceRequest,
+)
+
+ROUTING_POLICIES = ("round-robin", "least-loaded", "size-aware")
+ENGINES = ("analytic", "device")
+FUNCTIONAL_MODES = ("off", "sample", "all")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service deployment."""
+
+    num_shards: int = 2
+    routing: str = "least-loaded"
+    max_batch_requests: int = 8
+    max_batch_bytes: int = 1 << 20
+    batch_wait_ns: float = 20_000.0
+    #: Command-queue descriptor setup + doorbell + DMA programming, paid
+    #: once per dispatch on every unit the batch occupies.
+    dispatch_overhead_ns: float = 2_000.0
+    software_workers: int = 4
+    software_overhead_ns: float = 1_000.0
+    engine: str = "analytic"
+    functional: str = "sample"
+    functional_every: int = 16
+    #: Batches at or above this payload route to the large-partition
+    #: shards under the size-aware policy.
+    size_aware_bytes: int = 16 * 1024
+    admission: AdmissionConfig = dataclass_field(default_factory=AdmissionConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ConfigError("num_shards must be positive")
+        if self.routing not in ROUTING_POLICIES:
+            raise ConfigError(
+                f"unknown routing policy {self.routing!r}; "
+                f"choose from {ROUTING_POLICIES}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigError(f"unknown engine {self.engine!r}")
+        if self.functional not in FUNCTIONAL_MODES:
+            raise ConfigError(f"unknown functional mode {self.functional!r}")
+        if self.functional_every <= 0:
+            raise ConfigError("functional_every must be positive")
+        if self.software_workers <= 0:
+            raise ConfigError("software_workers must be positive")
+        if self.dispatch_overhead_ns < 0 or self.software_overhead_ns < 0:
+            raise ConfigError("overheads must be non-negative")
+
+
+class AcceleratorShard:
+    """One Cereal device plus its scheduling state inside the server."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        catalog: ServiceCatalog,
+        cereal_config: CerealConfig,
+        dram_config: DRAMConfig,
+    ):
+        self.shard_id = shard_id
+        self.accelerator = CerealAccelerator(
+            cereal_config, dram_config, registration=catalog.registration
+        )
+        self.simulator = DeviceSimulator(self.accelerator)
+        self.su_free = [0.0] * cereal_config.num_serializer_units
+        self.du_free = [0.0] * cereal_config.num_deserializer_units
+        self.busy_until = 0.0  # device-engine batches run back-to-back
+        self.dispatched_batches = 0
+        self.dispatched_requests = 0
+
+    def _pool(self, kind: str) -> List[float]:
+        return self.su_free if kind == KIND_SERIALIZE else self.du_free
+
+    def backlog_ns(self, kind: str, now_ns: float) -> float:
+        """Pending work on this shard's pool for ``kind`` at ``now_ns``."""
+        backlog = sum(max(0.0, f - now_ns) for f in self._pool(kind))
+        return backlog + max(0.0, self.busy_until - now_ns)
+
+    # -- analytic engine ------------------------------------------------------------
+
+    def service_analytic(
+        self, batch: Batch, now_ns: float, overhead_ns: float
+    ) -> List[Tuple[ServiceRequest, float]]:
+        """Schedule the batch on the unit pool; returns (request, finish).
+
+        Mirrors the device simulator's policy: longest operation first,
+        each to the earliest-free unit. Every unit the batch touches pays
+        the dispatch overhead once, so single-request batches cannot
+        amortize it. The shared-DRAM bandwidth floor then pushes the whole
+        batch's completions out if aggregate traffic exceeds the DDR4 peak.
+        """
+        pool = self._pool(batch.kind)
+        dram = self.accelerator.dram_config
+        touched: Dict[int, bool] = {}
+        finishes: List[Tuple[ServiceRequest, float]] = []
+        total_dram_bytes = 0
+        ordered = sorted(
+            batch.requests, key=lambda r: (-r.accel_timing.elapsed_ns, r.request_id)
+        )
+        for request in ordered:
+            unit = min(range(len(pool)), key=lambda i: (pool[i], i))
+            begin = max(pool[unit], now_ns)
+            if unit not in touched:
+                touched[unit] = True
+                begin += overhead_ns
+            finish = begin + request.accel_timing.elapsed_ns
+            pool[unit] = finish
+            total_dram_bytes += request.accel_timing.dram_bytes
+            finishes.append((request, finish))
+        # Bandwidth floor: the batch cannot finish faster than its DRAM
+        # traffic drains at peak bandwidth.
+        wall = max(f for _, f in finishes) - now_ns
+        floor = total_dram_bytes / dram.peak_bandwidth_bytes_per_sec * 1e9
+        if floor > wall:
+            delta = floor - wall
+            finishes = [(r, f + delta) for r, f in finishes]
+            for unit in touched:
+                pool[unit] += delta
+        self.dispatched_batches += 1
+        self.dispatched_requests += batch.size
+        return finishes
+
+    # -- device engine -------------------------------------------------------------------
+
+    def service_device(
+        self, batch: Batch, now_ns: float, overhead_ns: float
+    ) -> List[Tuple[ServiceRequest, float]]:
+        """Run the batch through the real device simulator.
+
+        The simulator owns per-batch unit state, so batches on one shard
+        execute back-to-back (``busy_until``); within a batch the full
+        shared-channel contention model applies. Deserialize requests
+        decode onto fresh heaps — functional correctness is inherent here.
+        """
+        start = max(now_ns, self.busy_until) + overhead_ns
+        device_requests = []
+        for request in batch.requests:
+            if request.kind == KIND_SERIALIZE:
+                device_requests.append(("serialize", request.entry.root))
+            else:
+                receiver = Heap(registry=request.entry.root.heap.registry)
+                device_requests.append(
+                    ("deserialize", request.entry.stream, receiver)
+                )
+        run = self.simulator.run(device_requests)
+        self.busy_until = start + run.wall_time_ns
+        finishes = []
+        for request, op in zip(batch.requests, run.operations):
+            if op.root is not None and not graphs_equivalent(
+                request.entry.root, op.root
+            ):
+                raise SimulationError(
+                    f"device shard {self.shard_id}: deserialize of "
+                    f"{request.entry.name!r} did not round-trip"
+                )
+            finishes.append((request, start + op.finish_ns))
+        self.dispatched_batches += 1
+        self.dispatched_requests += batch.size
+        return finishes
+
+
+class SoftwareLane:
+    """CPU degrade path: a small pool of software-serializer workers."""
+
+    def __init__(self, catalog: ServiceCatalog, workers: int, overhead_ns: float):
+        self.catalog = catalog
+        self.worker_free = [0.0] * workers
+        self.overhead_ns = overhead_ns
+        self.served = 0
+
+    def service(self, request: ServiceRequest, now_ns: float) -> float:
+        worker = min(range(len(self.worker_free)), key=lambda i: (self.worker_free[i], i))
+        begin = max(self.worker_free[worker], now_ns) + self.overhead_ns
+        finish = begin + request.software_ns
+        self.worker_free[worker] = finish
+        self.served += 1
+        return finish
+
+
+class SerializationServer:
+    """Discrete-event simulation of the sharded serialization service."""
+
+    def __init__(
+        self,
+        catalog: ServiceCatalog,
+        config: Optional[ServiceConfig] = None,
+        injector: Optional[FaultInjector] = None,
+    ):
+        self.catalog = catalog
+        self.config = config or ServiceConfig()
+        self.injector = injector
+        self.shards = [
+            AcceleratorShard(
+                shard_id,
+                catalog,
+                catalog.cereal_config,
+                catalog.dram_config,
+            )
+            for shard_id in range(self.config.num_shards)
+        ]
+        self.software = SoftwareLane(
+            catalog, self.config.software_workers, self.config.software_overhead_ns
+        )
+        self.coalescer = BatchCoalescer(
+            max_batch_requests=self.config.max_batch_requests,
+            max_batch_bytes=self.config.max_batch_bytes,
+            max_wait_ns=self.config.batch_wait_ns,
+        )
+        self.admission = AdmissionController(self.config.admission)
+        self.degraded_batches = 0
+        self.verified_requests = 0
+        self._rr_next = 0
+        self._functional_counter = 0
+
+    # -- routing ---------------------------------------------------------------------
+
+    def _route(self, batch: Batch, now_ns: float) -> AcceleratorShard:
+        policy = self.config.routing
+        if policy == "round-robin":
+            shard = self.shards[self._rr_next % len(self.shards)]
+            self._rr_next += 1
+            return shard
+        if policy == "least-loaded":
+            candidates = self.shards
+        else:  # size-aware: isolate large batches on a reserved partition
+            split = max(1, len(self.shards) // 4)
+            if len(self.shards) == 1:
+                candidates = self.shards
+            elif batch.payload_bytes >= self.config.size_aware_bytes:
+                candidates = self.shards[:split]
+            else:
+                candidates = self.shards[split:]
+        return min(
+            candidates,
+            key=lambda s: (s.backlog_ns(batch.kind, now_ns), s.shard_id),
+        )
+
+    # -- functional execution (correctness checking) ----------------------------------
+
+    def _should_verify(self) -> bool:
+        mode = self.config.functional
+        if mode == "off":
+            return False
+        if mode == "all":
+            return True
+        self._functional_counter += 1
+        return self._functional_counter % self.config.functional_every == 1
+
+    def _verify(self, request: ServiceRequest, backend: str) -> None:
+        """Execute the operation for real and check the round trip."""
+        entry = request.entry
+        registry = entry.root.heap.registry
+        if request.kind == KIND_SERIALIZE:
+            if backend == BACKEND_SOFTWARE:
+                codec = self.catalog.fallback_serializer
+                stream = codec.serialize(entry.root).stream
+            else:
+                codec = self.catalog.accelerator.codec
+                stream = codec.serialize(entry.root).stream
+            rebuilt = codec.deserialize(stream, Heap(registry=registry)).root
+        else:
+            # Software degrade of a Cereal stream decodes with the software
+            # Cereal codec — the wire format is already fixed.
+            codec = self.catalog.accelerator.codec
+            rebuilt = codec.deserialize(
+                entry.stream, Heap(registry=registry)
+            ).root
+        if not graphs_equivalent(entry.root, rebuilt):
+            raise SimulationError(
+                f"request {request.request_id} ({request.kind} "
+                f"{entry.name!r} via {backend}) did not round-trip"
+            )
+        self.verified_requests += 1
+
+    # -- dispatch paths -------------------------------------------------------------------
+
+    def _serve_software(
+        self,
+        request: ServiceRequest,
+        now_ns: float,
+        record: RequestRecord,
+        batch: Optional[Batch] = None,
+    ) -> None:
+        finish = self.software.service(request, now_ns)
+        record.dispatch_ns = now_ns
+        record.finish_ns = finish
+        record.outcome = OUTCOME_DEGRADED
+        record.backend = BACKEND_SOFTWARE
+        if batch is not None:
+            record.batch_id = batch.batch_id
+            record.batch_size = batch.size
+        if self._should_verify():
+            self._verify(request, BACKEND_SOFTWARE)
+
+    def _dispatch(self, batch: Batch, now_ns: float) -> List[Tuple[float, int]]:
+        """Send one closed batch to a shard (or degrade it); returns
+        ``(finish_ns, request_id)`` completion markers."""
+        completions: List[Tuple[float, int]] = []
+        faulted = (
+            self.injector is not None
+            and self.injector.accelerator_fault(f"service.{batch.kind}")
+        )
+        if faulted:
+            # A capacity fault (CAM/MAI overflow) rejects the whole batch at
+            # the command queue; the server degrades it to software, which
+            # is slower but correct — no admitted request is lost.
+            report = self.injector.report
+            report.record_injected("accelerator")
+            report.record_detected("accelerator")
+            report.record_recovered("accelerator")
+            report.record_fallback("accelerator", count=batch.size)
+            self.degraded_batches += 1
+            for request in batch.requests:
+                record = self._records[request.request_id]
+                self._serve_software(request, now_ns, record, batch=batch)
+                completions.append((record.finish_ns, request.request_id))
+            return completions
+        shard = self._route(batch, now_ns)
+        if self.config.engine == "device":
+            finishes = shard.service_device(
+                batch, now_ns, self.config.dispatch_overhead_ns
+            )
+        else:
+            finishes = shard.service_analytic(
+                batch, now_ns, self.config.dispatch_overhead_ns
+            )
+        for request, finish in finishes:
+            record = self._records[request.request_id]
+            record.dispatch_ns = now_ns
+            record.finish_ns = finish
+            record.outcome = OUTCOME_OK
+            record.backend = BACKEND_CEREAL
+            record.batch_id = batch.batch_id
+            record.batch_size = batch.size
+            completions.append((finish, request.request_id))
+            if self.config.engine != "device" and self._should_verify():
+                self._verify(request, BACKEND_CEREAL)
+        return completions
+
+    # -- the event loop ----------------------------------------------------------------------
+
+    def run(self, requests: Sequence[ServiceRequest]) -> SLOReport:
+        """Simulate the full request sequence; returns the SLO report."""
+        self._records = {
+            r.request_id: RequestRecord(
+                request_id=r.request_id,
+                kind=r.kind,
+                size_class=r.entry.name,
+                arrival_ns=r.arrival_ns,
+            )
+            for r in requests
+        }
+        if len(self._records) != len(requests):
+            raise ConfigError("request_ids must be unique within one run")
+
+        events: List[Tuple[float, int, str, object]] = []
+        tiebreak = 0
+        for request in requests:
+            events.append((request.arrival_ns, tiebreak, "arrival", request))
+            tiebreak += 1
+        heapq.heapify(events)
+        inflight: List[float] = []  # completion times of admitted requests
+
+        def drain(now_ns: float) -> None:
+            while inflight and inflight[0] <= now_ns:
+                heapq.heappop(inflight)
+                self.admission.release()
+
+        def track(completions: List[Tuple[float, int]]) -> None:
+            for finish, _ in completions:
+                heapq.heappush(inflight, finish)
+
+        while events:
+            now_ns, _, etype, payload = heapq.heappop(events)
+            drain(now_ns)
+            if etype == "arrival":
+                request = payload
+                record = self._records[request.request_id]
+                decision = self.admission.decide()
+                if decision == DECISION_SHED:
+                    record.outcome = OUTCOME_SHED
+                    record.backend = BACKEND_NONE
+                    record.dispatch_ns = now_ns
+                    record.finish_ns = now_ns
+                    continue
+                if decision == DECISION_DEGRADE:
+                    self._serve_software(request, now_ns, record)
+                    track([(record.finish_ns, request.request_id)])
+                    continue
+                outcome = self.coalescer.add(request, now_ns)
+                if outcome.batch is not None:
+                    track(self._dispatch(outcome.batch, now_ns))
+                elif outcome.opened_seq is not None:
+                    tiebreak += 1
+                    heapq.heappush(
+                        events,
+                        (
+                            outcome.deadline_ns,
+                            tiebreak,
+                            "deadline",
+                            (request.kind, outcome.opened_seq),
+                        ),
+                    )
+            else:  # deadline
+                kind, seq = payload
+                batch = self.coalescer.flush_due(kind, seq, now_ns)
+                if batch is not None:
+                    track(self._dispatch(batch, now_ns))
+        # Safety drain: every opened group had a deadline event, so this is
+        # normally empty, but a zero-wait config flushed inline never opens
+        # groups and end-of-sequence semantics must not depend on that.
+        last = max((r.arrival_ns for r in requests), default=0.0)
+        for batch in self.coalescer.flush_all(last):
+            self._dispatch(batch, last)
+
+        report = SLOReport(
+            records=[self._records[r.request_id] for r in requests],
+            fault_report=self.injector.report if self.injector else None,
+            degraded_batches=self.degraded_batches,
+            mean_batch_size=self.coalescer.mean_batch_size,
+            peak_outstanding=self.admission.peak_outstanding,
+            verified_requests=self.verified_requests,
+        )
+        return report

@@ -1,0 +1,255 @@
+"""Per-request latency traces and tail-latency / goodput summaries.
+
+Every request that enters the server leaves exactly one
+:class:`RequestRecord` behind — admitted or shed, accelerated or degraded
+— so the SLO report can be rebuilt from the trace alone. Latency is
+measured arrival-to-finish (queueing + batching wait + service); shed
+requests have no latency (the client got an immediate rejection) and are
+reported through the shed rate instead.
+
+The summary mirrors what a production serving dashboard shows: p50 / p95 /
+p99 / p999, goodput vs. offered load, shed and degrade rates, and the
+fault-recovery counters when a chaos schedule was active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import ReportTable, percentile
+from repro.faults.report import FaultReport
+
+OUTCOME_OK = "ok"
+OUTCOME_DEGRADED = "degraded"
+OUTCOME_SHED = "shed"
+
+BACKEND_CEREAL = "cereal"
+BACKEND_SOFTWARE = "software"
+BACKEND_NONE = "none"
+
+#: The quantiles every summary reports, in display order.
+SLO_QUANTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0), ("p999", 99.9))
+
+
+@dataclass
+class RequestRecord:
+    """The full observable history of one request."""
+
+    request_id: int
+    kind: str
+    size_class: str
+    arrival_ns: float
+    dispatch_ns: float = 0.0
+    finish_ns: float = 0.0
+    outcome: str = OUTCOME_OK
+    backend: str = BACKEND_CEREAL
+    batch_id: int = -1
+    batch_size: int = 1
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome != OUTCOME_SHED
+
+    @property
+    def latency_ns(self) -> float:
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def queue_ns(self) -> float:
+        """Time between arrival and dispatch (batching wait + queueing)."""
+        return self.dispatch_ns - self.arrival_ns
+
+    @property
+    def service_ns(self) -> float:
+        return self.finish_ns - self.dispatch_ns
+
+
+@dataclass
+class SLOReport:
+    """Aggregated view over one service run's request records."""
+
+    records: List[RequestRecord]
+    fault_report: Optional[FaultReport] = None
+    degraded_batches: int = 0
+    mean_batch_size: float = 0.0
+    peak_outstanding: int = 0
+    verified_requests: int = 0
+
+    _latency_cache: Dict[str, List[float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- basic populations -------------------------------------------------------
+
+    def _latencies(self, kind: str = "all") -> List[float]:
+        cached = self._latency_cache.get(kind)
+        if cached is None:
+            cached = sorted(
+                r.latency_ns
+                for r in self.records
+                if r.completed and (kind == "all" or r.kind == kind)
+            )
+            self._latency_cache[kind] = cached
+        return cached
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed_requests(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    @property
+    def shed_requests(self) -> int:
+        return self.total_requests - self.completed_requests
+
+    @property
+    def degraded_requests(self) -> int:
+        return sum(1 for r in self.records if r.outcome == OUTCOME_DEGRADED)
+
+    @property
+    def shed_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.shed_requests / self.total_requests
+
+    # -- latency ------------------------------------------------------------------
+
+    def latency_ns_at(self, q: float, kind: str = "all") -> float:
+        values = self._latencies(kind)
+        if not values:
+            return 0.0
+        return percentile(values, q)
+
+    def p50(self, kind: str = "all") -> float:
+        return self.latency_ns_at(50.0, kind)
+
+    def p95(self, kind: str = "all") -> float:
+        return self.latency_ns_at(95.0, kind)
+
+    def p99(self, kind: str = "all") -> float:
+        return self.latency_ns_at(99.0, kind)
+
+    def p999(self, kind: str = "all") -> float:
+        return self.latency_ns_at(99.9, kind)
+
+    def mean_latency_ns(self, kind: str = "all") -> float:
+        values = self._latencies(kind)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def max_latency_ns(self, kind: str = "all") -> float:
+        values = self._latencies(kind)
+        return values[-1] if values else 0.0
+
+    # -- throughput ----------------------------------------------------------------
+
+    @property
+    def makespan_ns(self) -> float:
+        """First arrival to last completion (the busy horizon)."""
+        if not self.records:
+            return 0.0
+        first = min(r.arrival_ns for r in self.records)
+        last = max(
+            (r.finish_ns for r in self.records if r.completed),
+            default=first,
+        )
+        return max(0.0, last - first)
+
+    @property
+    def offered_qps(self) -> float:
+        """Arrival rate over the arrival window."""
+        if len(self.records) < 2:
+            return 0.0
+        first = min(r.arrival_ns for r in self.records)
+        last = max(r.arrival_ns for r in self.records)
+        if last <= first:
+            return 0.0
+        return (len(self.records) - 1) / ((last - first) * 1e-9)
+
+    @property
+    def goodput_qps(self) -> float:
+        """Completed requests per second over the busy horizon."""
+        span = self.makespan_ns
+        if span <= 0:
+            return 0.0
+        return self.completed_requests / (span * 1e-9)
+
+    # -- rendering -------------------------------------------------------------------
+
+    def as_dict(self) -> Dict:
+        """Stable machine-readable summary (for ``BENCH_*.json``)."""
+        summary: Dict = {
+            "requests": {
+                "total": self.total_requests,
+                "completed": self.completed_requests,
+                "shed": self.shed_requests,
+                "degraded": self.degraded_requests,
+                "verified": self.verified_requests,
+            },
+            "latency_ns": {},
+            "throughput": {
+                "offered_qps": self.offered_qps,
+                "goodput_qps": self.goodput_qps,
+                "shed_rate": self.shed_rate,
+            },
+            "batching": {
+                "mean_batch_size": self.mean_batch_size,
+                "degraded_batches": self.degraded_batches,
+            },
+            "queue": {"peak_outstanding": self.peak_outstanding},
+        }
+        for kind in ("all", "serialize", "deserialize"):
+            if not self._latencies(kind):
+                continue
+            entry = {
+                name: self.latency_ns_at(q, kind) for name, q in SLO_QUANTILES
+            }
+            entry["mean"] = self.mean_latency_ns(kind)
+            entry["max"] = self.max_latency_ns(kind)
+            summary["latency_ns"][kind] = entry
+        if self.fault_report is not None:
+            summary["faults"] = self.fault_report.as_dict()
+        return summary
+
+    def to_table(self, title: str = "Service SLO report") -> ReportTable:
+        table = ReportTable(
+            title,
+            ["Kind", "N", "p50 (us)", "p95 (us)", "p99 (us)", "p999 (us)",
+             "Mean (us)", "Max (us)"],
+        )
+        for kind in ("all", "serialize", "deserialize"):
+            values = self._latencies(kind)
+            if not values:
+                continue
+            table.add_row(
+                kind,
+                str(len(values)),
+                f"{self.p50(kind) / 1e3:.2f}",
+                f"{self.p95(kind) / 1e3:.2f}",
+                f"{self.p99(kind) / 1e3:.2f}",
+                f"{self.p999(kind) / 1e3:.2f}",
+                f"{self.mean_latency_ns(kind) / 1e3:.2f}",
+                f"{self.max_latency_ns(kind) / 1e3:.2f}",
+            )
+        table.add_note(
+            f"offered {self.offered_qps:,.0f} rps, goodput "
+            f"{self.goodput_qps:,.0f} rps, shed {self.shed_requests} "
+            f"({self.shed_rate * 100:.2f}%), degraded "
+            f"{self.degraded_requests} (batches {self.degraded_batches})"
+        )
+        table.add_note(
+            f"mean batch size {self.mean_batch_size:.2f}, peak queue "
+            f"{self.peak_outstanding}, verified {self.verified_requests}"
+        )
+        if self.fault_report is not None and self.fault_report.layers:
+            totals = self.fault_report.totals
+            table.add_note(
+                f"faults: injected {totals.injected}, detected "
+                f"{totals.detected}, recovered {totals.recovered}, "
+                f"fallbacks {totals.fallbacks}"
+            )
+        return table

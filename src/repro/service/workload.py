@@ -1,0 +1,377 @@
+"""Open-loop request workloads for the serialization service.
+
+A service run needs two things: *what* is being (de)serialized and *when*
+requests arrive.
+
+The **catalog** answers "what": a small set of representative object
+graphs (built by the :mod:`repro.workloads` generators) with their Cereal
+streams and per-backend single-operation timings precomputed. Every
+request references one catalog entry, so a million-request simulation only
+pays the functional serialization cost once per entry — the event loop
+replays cached timings, and functional execution is re-run on a sampled
+(or exhaustive) subset of requests for correctness checking.
+
+The **arrival generators** answer "when": open-loop (the paper's
+wimpy-vs-beefy argument only bites when clients do not wait for the
+server), seeded, and deliberately structured so that *one* master
+unit-rate arrival sequence is rescaled for every offered QPS. Two runs at
+different QPS therefore see the *same* requests in the same order with the
+same sizes — only compressed in time — which makes latency-vs-load curves
+monotone by construction rather than by luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import log
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cereal.accelerator import CerealAccelerator, OperationTiming
+from repro.common.config import CerealConfig, DRAMConfig
+from repro.common.errors import ConfigError
+from repro.cpu.harness import SoftwarePlatform
+from repro.formats.base import SerializedStream
+from repro.formats.kryo import KryoSerializer
+from repro.formats.registry import ClassRegistration
+from repro.jvm.heap import Heap, HeapObject
+from repro.workloads.datagen import DeterministicRandom
+from repro.workloads.micro import (
+    MicrobenchConfig,
+    build_graph_bench,
+    build_list_bench,
+    build_tree_bench,
+)
+
+KIND_SERIALIZE = "serialize"
+KIND_DESERIALIZE = "deserialize"
+KINDS = (KIND_SERIALIZE, KIND_DESERIALIZE)
+
+
+@dataclass(frozen=True)
+class SizeClass:
+    """One request size class: a shape plus an object budget."""
+
+    name: str
+    shape: str  # "tree" | "list" | "graph"
+    objects: int
+    fanout: int = 2
+
+
+#: Default request-size mix: mostly small RPC-style graphs, some medium
+#: shuffle buckets, a few large cached-partition-style graphs.
+DEFAULT_SIZE_CLASSES: Tuple[SizeClass, ...] = (
+    SizeClass("small", "tree", objects=48, fanout=2),
+    SizeClass("medium", "list", objects=192),
+    SizeClass("large", "graph", objects=256, fanout=6),
+)
+
+
+@dataclass
+class CatalogEntry:
+    """A reusable payload: graph, stream, and cached per-backend timings."""
+
+    name: str
+    root: HeapObject
+    stream: SerializedStream  # Cereal-format bytes (deserialize input)
+    accel_timing: Dict[str, OperationTiming]
+    software_ns: Dict[str, float]
+
+    @property
+    def graph_bytes(self) -> int:
+        return self.stream.graph_bytes
+
+    @property
+    def stream_bytes(self) -> int:
+        return self.stream.size_bytes
+
+
+class ServiceCatalog:
+    """Builds and owns the payload graphs plus their cached timings.
+
+    The catalog, every accelerator shard, and the software degrade path all
+    share one :class:`~repro.formats.registry.ClassRegistration`, so a
+    stream produced anywhere in the service is decodable everywhere (class
+    IDs agree by construction).
+    """
+
+    def __init__(
+        self,
+        size_classes: Sequence[SizeClass] = DEFAULT_SIZE_CLASSES,
+        cereal_config: Optional[CerealConfig] = None,
+        dram_config: Optional[DRAMConfig] = None,
+    ):
+        if not size_classes:
+            raise ConfigError("catalog needs at least one size class")
+        self.heap = Heap(registry=None)
+        self.registration = ClassRegistration()
+        self.cereal_config = cereal_config or CerealConfig()
+        self.dram_config = dram_config or DRAMConfig()
+        self.entries: Dict[str, CatalogEntry] = {}
+        self._build(size_classes)
+
+    def _build(self, size_classes: Sequence[SizeClass]) -> None:
+        roots: Dict[str, HeapObject] = {}
+        for size in size_classes:
+            config = MicrobenchConfig(
+                name=f"service-{size.name}",
+                shape=size.shape,
+                variant=size.name,
+                paper_objects=size.objects,
+                scale=1,
+                fanout=size.fanout,
+            )
+            if size.shape == "tree":
+                roots[size.name] = build_tree_bench(self.heap, config)
+            elif size.shape == "list":
+                roots[size.name] = build_list_bench(self.heap, config)
+            elif size.shape == "graph":
+                roots[size.name] = build_graph_bench(self.heap, config)
+            else:
+                raise ConfigError(f"unknown workload shape {size.shape!r}")
+        # Reference accelerator: produces the catalog streams and the
+        # cached single-op timings every analytic shard replays.
+        self.accelerator = CerealAccelerator(
+            self.cereal_config, self.dram_config, registration=self.registration
+        )
+        for klass in self.heap.registry:
+            self.accelerator.register_class(klass)
+        self.software = SoftwarePlatform()
+        self.fallback_serializer = KryoSerializer(self.registration)
+        for size in size_classes:
+            root = roots[size.name]
+            result, ser_timing, _ = self.accelerator.serialize(root)
+            receiver = Heap(registry=self.heap.registry)
+            _, de_timing, _ = self.accelerator.deserialize(result.stream, receiver)
+            _, soft_ser = self.software.run_serialize(self.fallback_serializer, root)
+            soft_heap = Heap(registry=self.heap.registry)
+            _, soft_de = self.software.run_deserialize(
+                self.accelerator.codec, result.stream, soft_heap
+            )
+            self.entries[size.name] = CatalogEntry(
+                name=size.name,
+                root=root,
+                stream=result.stream,
+                accel_timing={
+                    KIND_SERIALIZE: ser_timing,
+                    KIND_DESERIALIZE: de_timing,
+                },
+                software_ns={
+                    KIND_SERIALIZE: soft_ser.timing.time_ns,
+                    KIND_DESERIALIZE: soft_de.timing.time_ns,
+                },
+            )
+
+    @property
+    def registry(self):
+        return self.heap.registry
+
+    def entry(self, name: str) -> CatalogEntry:
+        return self.entries[name]
+
+    def mean_service_ns(self, kind: str, weights: Mapping[str, float]) -> float:
+        """Weighted mean accelerator service time for one request kind."""
+        total_weight = sum(weights.get(name, 0.0) for name in self.entries)
+        if total_weight <= 0:
+            raise ConfigError("size weights select no catalog entries")
+        return sum(
+            self.entries[name].accel_timing[kind].elapsed_ns * weight
+            for name, weight in weights.items()
+            if name in self.entries
+        ) / total_weight
+
+
+@dataclass
+class ServiceRequest:
+    """One request in flight through the service."""
+
+    request_id: int
+    kind: str  # "serialize" | "deserialize"
+    entry: CatalogEntry
+    arrival_ns: float
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes the operation must move in: heap graph (ser) or stream (de)."""
+        if self.kind == KIND_SERIALIZE:
+            return self.entry.graph_bytes
+        return self.entry.stream_bytes
+
+    @property
+    def accel_timing(self) -> OperationTiming:
+        return self.entry.accel_timing[self.kind]
+
+    @property
+    def software_ns(self) -> float:
+        return self.entry.software_ns[self.kind]
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Serialize/deserialize split and size-class weights."""
+
+    serialize_fraction: float = 0.5
+    size_weights: Mapping[str, float] = field(
+        default_factory=lambda: {"small": 0.6, "medium": 0.3, "large": 0.1}
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.serialize_fraction <= 1.0:
+            raise ConfigError("serialize_fraction must be in [0, 1]")
+        if not self.size_weights or min(self.size_weights.values()) < 0:
+            raise ConfigError("size_weights must be non-empty and non-negative")
+        if sum(self.size_weights.values()) <= 0:
+            raise ConfigError("size_weights must have positive total weight")
+
+
+class OpenLoopWorkload:
+    """Base open-loop generator: seeded Poisson arrivals at a target QPS.
+
+    Arrival times come from a unit-rate exponential sequence divided by
+    ``qps``; request kinds and sizes come from *separate* seeded streams
+    that never consume arrival draws. Changing ``qps`` therefore rescales
+    the timeline without reshuffling the request sequence.
+    """
+
+    def __init__(
+        self,
+        qps: float,
+        num_requests: int,
+        seed: int = 0,
+        mix: Optional[RequestMix] = None,
+    ):
+        if qps <= 0:
+            raise ConfigError(f"qps must be positive, got {qps}")
+        if num_requests <= 0:
+            raise ConfigError("num_requests must be positive")
+        self.qps = qps
+        self.num_requests = num_requests
+        self.seed = seed
+        self.mix = mix or RequestMix()
+
+    # -- overridable pieces --------------------------------------------------------
+
+    def _unit_gaps(self) -> List[float]:
+        """Unit-rate inter-arrival gaps (mean 1.0) before QPS scaling."""
+        rng = DeterministicRandom(seed=(self.seed << 1) ^ 0xA881_17A1)
+        gaps = []
+        for _ in range(self.num_requests):
+            u = rng.random()
+            gaps.append(-log(1.0 - u))
+        return gaps
+
+    # -- generation --------------------------------------------------------------------
+
+    def generate(self, catalog: ServiceCatalog) -> List[ServiceRequest]:
+        names = sorted(
+            name for name in self.mix.size_weights if name in catalog.entries
+        )
+        if not names:
+            raise ConfigError(
+                "request mix references no catalog entries "
+                f"(mix={sorted(self.mix.size_weights)}, "
+                f"catalog={sorted(catalog.entries)})"
+            )
+        weights = [self.mix.size_weights[name] for name in names]
+        total_weight = sum(weights)
+        kind_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0002)
+        size_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0003)
+        scale_ns = 1e9 / self.qps
+        clock = 0.0
+        requests: List[ServiceRequest] = []
+        for index, gap in enumerate(self._unit_gaps()):
+            clock += gap * scale_ns
+            if kind_rng.random() < self.mix.serialize_fraction:
+                kind = KIND_SERIALIZE
+            else:
+                kind = KIND_DESERIALIZE
+            draw = size_rng.random() * total_weight
+            chosen = names[-1]
+            for name, weight in zip(names, weights):
+                if draw < weight:
+                    chosen = name
+                    break
+                draw -= weight
+            requests.append(
+                ServiceRequest(
+                    request_id=index,
+                    kind=kind,
+                    entry=catalog.entry(chosen),
+                    arrival_ns=clock,
+                )
+            )
+        return requests
+
+
+class PoissonWorkload(OpenLoopWorkload):
+    """Memoryless open-loop arrivals at a fixed mean rate."""
+
+
+class BurstyWorkload(OpenLoopWorkload):
+    """On/off modulated Poisson arrivals with the same mean rate.
+
+    Requests alternate between ON phases (inter-arrival gaps divided by
+    ``burst_factor``) and OFF phases (gaps stretched so the *mean* rate
+    stays ``qps``). Phase lengths are drawn from the seeded stream, so the
+    burst schedule is as reproducible as the arrivals themselves.
+    """
+
+    def __init__(
+        self,
+        qps: float,
+        num_requests: int,
+        seed: int = 0,
+        mix: Optional[RequestMix] = None,
+        burst_factor: float = 8.0,
+        burst_fraction: float = 0.25,
+        mean_phase_requests: int = 32,
+    ):
+        super().__init__(qps, num_requests, seed=seed, mix=mix)
+        if burst_factor < 1.0:
+            raise ConfigError("burst_factor must be >= 1")
+        if not 0.0 < burst_fraction < 1.0:
+            raise ConfigError("burst_fraction must be in (0, 1)")
+        if mean_phase_requests <= 0:
+            raise ConfigError("mean_phase_requests must be positive")
+        self.burst_factor = burst_factor
+        self.burst_fraction = burst_fraction
+        self.mean_phase_requests = mean_phase_requests
+
+    def _unit_gaps(self) -> List[float]:
+        gaps = super()._unit_gaps()
+        phase_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0004)
+        # Slow-phase stretch chosen so the long-run mean gap stays 1.0:
+        #   burst_fraction / factor + (1 - burst_fraction) * stretch == 1.
+        stretch = (1.0 - self.burst_fraction / self.burst_factor) / (
+            1.0 - self.burst_fraction
+        )
+        shaped: List[float] = []
+        index = 0
+        in_burst = True
+        while index < len(gaps):
+            if in_burst:
+                length = max(
+                    1,
+                    int(
+                        self.mean_phase_requests
+                        * self.burst_fraction
+                        * (0.5 + phase_rng.random())
+                    ),
+                )
+                factor = 1.0 / self.burst_factor
+            else:
+                length = max(
+                    1,
+                    int(
+                        self.mean_phase_requests
+                        * (1.0 - self.burst_fraction)
+                        * (0.5 + phase_rng.random())
+                    ),
+                )
+                factor = stretch
+            for _ in range(length):
+                if index >= len(gaps):
+                    break
+                shaped.append(gaps[index] * factor)
+                index += 1
+            in_burst = not in_burst
+        return shaped

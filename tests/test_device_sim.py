@@ -151,3 +151,80 @@ class TestDeviceSimulator:
         roots = [build_tree(heap, depth=5) for _ in range(4)]
         result = simulator.run([("serialize", root) for root in roots])
         assert {op.unit_index for op in result.operations} == {0, 1}
+
+
+def _oversubscribed_run(device, num_serialize=20, num_deserialize=8):
+    """A run with more requests than units, with uneven op sizes."""
+    registry, _, heap, simulator = device
+    depths = [3 + (i % 5) for i in range(num_serialize)]
+    roots = [build_tree(heap, depth=depth) for depth in depths]
+    ser = simulator.run([("serialize", root) for root in roots])
+    requests = [("serialize", root) for root in roots]
+    requests.extend(
+        ("deserialize", op.stream, Heap(registry=registry))
+        for op in ser.operations[:num_deserialize]
+    )
+    return simulator, simulator.run(requests)
+
+
+class TestSchedulingInvariants:
+    """Invariants of the earliest-free-unit dispatch policy.
+
+    ``DeviceRunResult.unit_timeline()`` groups completed operations per
+    physical unit in dispatch order; the policy's contract is checked by
+    replaying dispatch over the recorded start/finish times.
+    """
+
+    def test_no_overlap_on_any_unit(self, device):
+        _, result = _oversubscribed_run(device)
+        for (kind, unit), ops in result.unit_timeline().items():
+            for earlier, later in zip(ops, ops[1:]):
+                assert later.start_ns >= earlier.finish_ns, (
+                    f"{kind} unit {unit}: op starting at {later.start_ns} "
+                    f"overlaps op finishing at {earlier.finish_ns}"
+                )
+
+    def test_finish_times_monotone_per_unit(self, device):
+        _, result = _oversubscribed_run(device)
+        for (kind, unit), ops in result.unit_timeline().items():
+            finishes = [op.finish_ns for op in ops]
+            assert finishes == sorted(finishes), (
+                f"{kind} unit {unit}: finish times {finishes} not monotone"
+            )
+            for op in ops:
+                assert op.finish_ns > op.start_ns
+
+    def test_dispatch_picks_earliest_free_unit(self, device):
+        """Greedy replay: each op must land on the unit that freed first.
+
+        Ties break to the lowest unit index, matching ``min`` over the
+        free-time list.
+        """
+        simulator, result = _oversubscribed_run(device)
+        pools = {
+            "serialize": [0.0] * simulator.config.num_serializer_units,
+            "deserialize": [0.0] * simulator.config.num_deserializer_units,
+        }
+        for op in result.operations:
+            free = pools[op.kind]
+            expected_unit = min(range(len(free)), key=free.__getitem__)
+            assert op.unit_index == expected_unit
+            assert op.start_ns == free[expected_unit]
+            free[expected_unit] = op.finish_ns
+
+    def test_pools_are_independent(self, device):
+        """Serialize load never delays deserialize dispatch (own pool)."""
+        _, result = _oversubscribed_run(device)
+        du_count = len(
+            [op for op in result.operations if op.kind == "deserialize"]
+        )
+        du_pool = {
+            unit
+            for (kind, unit) in result.unit_timeline()
+            if kind == "deserialize"
+        }
+        assert du_pool == set(range(min(du_count, 8)))
+        first_deser = next(
+            op for op in result.operations if op.kind == "deserialize"
+        )
+        assert first_deser.start_ns == 0.0

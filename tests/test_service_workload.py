@@ -1,0 +1,352 @@
+"""Tests for the service workload generators, coalescer, admission, SLO."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.service.admission import (
+    DECISION_ADMIT,
+    DECISION_DEGRADE,
+    DECISION_SHED,
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.service.batching import BatchCoalescer
+from repro.service.slo import (
+    OUTCOME_DEGRADED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    RequestRecord,
+    SLOReport,
+)
+from repro.service.workload import (
+    KIND_DESERIALIZE,
+    KIND_SERIALIZE,
+    BurstyWorkload,
+    PoissonWorkload,
+    RequestMix,
+    ServiceCatalog,
+    ServiceRequest,
+    SizeClass,
+)
+
+_SMALL_CLASSES = (
+    SizeClass("small", "tree", objects=24),
+    SizeClass("medium", "list", objects=64),
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return ServiceCatalog(size_classes=_SMALL_CLASSES)
+
+
+def _mix():
+    return RequestMix(
+        serialize_fraction=0.5, size_weights={"small": 0.7, "medium": 0.3}
+    )
+
+
+def _signature(requests):
+    return [(r.kind, r.entry.name) for r in requests]
+
+
+class TestCatalog:
+    def test_entries_built_with_timings(self, catalog):
+        assert set(catalog.entries) == {"small", "medium"}
+        for entry in catalog.entries.values():
+            assert entry.stream.size_bytes > 0
+            for kind in (KIND_SERIALIZE, KIND_DESERIALIZE):
+                assert entry.accel_timing[kind].elapsed_ns > 0
+                assert entry.software_ns[kind] > 0
+
+    def test_streams_decodable_with_shared_registration(self, catalog):
+        from repro.formats.verify import graphs_equivalent
+        from repro.jvm import Heap
+
+        for entry in catalog.entries.values():
+            rebuilt = catalog.accelerator.codec.deserialize(
+                entry.stream, Heap(registry=catalog.registry)
+            ).root
+            assert graphs_equivalent(entry.root, rebuilt)
+
+    def test_mean_service_ns_weighted(self, catalog):
+        small = catalog.entries["small"].accel_timing[KIND_SERIALIZE].elapsed_ns
+        medium = catalog.entries["medium"].accel_timing[KIND_SERIALIZE].elapsed_ns
+        mean = catalog.mean_service_ns(
+            KIND_SERIALIZE, {"small": 1.0, "medium": 1.0}
+        )
+        assert mean == pytest.approx((small + medium) / 2)
+        with pytest.raises(ConfigError):
+            catalog.mean_service_ns(KIND_SERIALIZE, {"absent": 1.0})
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigError):
+            ServiceCatalog(size_classes=())
+
+
+class TestOpenLoopWorkload:
+    def test_same_seed_same_requests(self, catalog):
+        a = PoissonWorkload(1e6, 500, seed=7, mix=_mix()).generate(catalog)
+        b = PoissonWorkload(1e6, 500, seed=7, mix=_mix()).generate(catalog)
+        assert _signature(a) == _signature(b)
+        assert [r.arrival_ns for r in a] == [r.arrival_ns for r in b]
+
+    def test_different_seed_different_sequence(self, catalog):
+        a = PoissonWorkload(1e6, 500, seed=7, mix=_mix()).generate(catalog)
+        b = PoissonWorkload(1e6, 500, seed=8, mix=_mix()).generate(catalog)
+        assert _signature(a) != _signature(b)
+
+    def test_qps_rescales_without_reshuffling(self, catalog):
+        """The core monotonicity guarantee: QPS only compresses time."""
+        slow = PoissonWorkload(1e6, 400, seed=3, mix=_mix()).generate(catalog)
+        fast = PoissonWorkload(2e6, 400, seed=3, mix=_mix()).generate(catalog)
+        assert _signature(slow) == _signature(fast)
+        for s, f in zip(slow, fast):
+            assert s.arrival_ns == pytest.approx(2.0 * f.arrival_ns)
+
+    def test_mean_rate_matches_qps(self, catalog):
+        requests = PoissonWorkload(1e6, 4000, seed=1, mix=_mix()).generate(
+            catalog
+        )
+        span_s = requests[-1].arrival_ns * 1e-9
+        assert 4000 / span_s == pytest.approx(1e6, rel=0.1)
+
+    def test_mix_fractions_respected(self, catalog):
+        requests = PoissonWorkload(1e6, 4000, seed=2, mix=_mix()).generate(
+            catalog
+        )
+        ser = sum(1 for r in requests if r.kind == KIND_SERIALIZE)
+        small = sum(1 for r in requests if r.entry.name == "small")
+        assert ser / len(requests) == pytest.approx(0.5, abs=0.05)
+        assert small / len(requests) == pytest.approx(0.7, abs=0.05)
+
+    def test_payload_bytes_follow_kind(self, catalog):
+        entry = catalog.entries["small"]
+        ser = ServiceRequest(0, KIND_SERIALIZE, entry, 0.0)
+        de = ServiceRequest(1, KIND_DESERIALIZE, entry, 0.0)
+        assert ser.payload_bytes == entry.graph_bytes
+        assert de.payload_bytes == entry.stream_bytes
+
+    def test_bursty_preserves_mean_rate_and_adds_variance(self, catalog):
+        poisson = PoissonWorkload(1e6, 4000, seed=5, mix=_mix()).generate(
+            catalog
+        )
+        bursty = BurstyWorkload(
+            1e6, 4000, seed=5, mix=_mix(), burst_factor=8.0
+        ).generate(catalog)
+        # Same requests, same mean rate (within sampling noise)...
+        assert _signature(poisson) == _signature(bursty)
+        assert bursty[-1].arrival_ns == pytest.approx(
+            poisson[-1].arrival_ns, rel=0.2
+        )
+
+        # ...but burstier inter-arrival gaps (higher squared CV).
+        def cv2(requests):
+            gaps = [
+                b.arrival_ns - a.arrival_ns
+                for a, b in zip(requests, requests[1:])
+            ]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var / (mean * mean)
+
+        assert cv2(bursty) > 1.5 * cv2(poisson)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            PoissonWorkload(0.0, 10)
+        with pytest.raises(ConfigError):
+            PoissonWorkload(1e6, 0)
+        with pytest.raises(ConfigError):
+            RequestMix(serialize_fraction=1.5)
+        with pytest.raises(ConfigError):
+            RequestMix(size_weights={})
+        with pytest.raises(ConfigError):
+            BurstyWorkload(1e6, 10, burst_factor=0.5)
+        with pytest.raises(ConfigError):
+            BurstyWorkload(1e6, 10, burst_fraction=1.0)
+
+    def test_mix_must_reference_catalog(self, catalog):
+        workload = PoissonWorkload(
+            1e6, 10, mix=RequestMix(size_weights={"absent": 1.0})
+        )
+        with pytest.raises(ConfigError):
+            workload.generate(catalog)
+
+
+def _request(catalog, request_id, kind=KIND_SERIALIZE, name="small"):
+    return ServiceRequest(request_id, kind, catalog.entries[name], 0.0)
+
+
+class TestBatchCoalescer:
+    def test_count_cap_closes_batch(self, catalog):
+        coalescer = BatchCoalescer(max_batch_requests=3, max_wait_ns=1e6)
+        outcomes = [
+            coalescer.add(_request(catalog, i), float(i)) for i in range(3)
+        ]
+        assert outcomes[0].opened_seq is not None
+        assert outcomes[0].deadline_ns == pytest.approx(1e6)
+        assert outcomes[1].batch is None and outcomes[1].opened_seq is None
+        batch = outcomes[2].batch
+        assert batch is not None and batch.size == 3
+        assert batch.opened_ns == 0.0 and batch.closed_ns == 2.0
+
+    def test_byte_cap_closes_batch(self, catalog):
+        payload = catalog.entries["small"].graph_bytes
+        coalescer = BatchCoalescer(
+            max_batch_requests=100,
+            max_batch_bytes=2 * payload,
+            max_wait_ns=1e6,
+        )
+        assert coalescer.add(_request(catalog, 0), 0.0).batch is None
+        batch = coalescer.add(_request(catalog, 1), 1.0).batch
+        assert batch is not None and batch.size == 2
+
+    def test_kinds_batch_separately(self, catalog):
+        coalescer = BatchCoalescer(max_batch_requests=2, max_wait_ns=1e6)
+        coalescer.add(_request(catalog, 0, KIND_SERIALIZE), 0.0)
+        assert (
+            coalescer.add(_request(catalog, 1, KIND_DESERIALIZE), 0.0).batch
+            is None
+        )
+        batch = coalescer.add(_request(catalog, 2, KIND_SERIALIZE), 1.0).batch
+        assert batch is not None and batch.kind == KIND_SERIALIZE
+
+    def test_stale_deadline_is_noop(self, catalog):
+        coalescer = BatchCoalescer(max_batch_requests=2, max_wait_ns=1e6)
+        seq = coalescer.add(_request(catalog, 0), 0.0).opened_seq
+        coalescer.add(_request(catalog, 1), 1.0)  # closes by count
+        assert coalescer.flush_due(KIND_SERIALIZE, seq, 1e6) is None
+
+    def test_live_deadline_flushes(self, catalog):
+        coalescer = BatchCoalescer(max_batch_requests=8, max_wait_ns=1e6)
+        seq = coalescer.add(_request(catalog, 0), 0.0).opened_seq
+        batch = coalescer.flush_due(KIND_SERIALIZE, seq, 1e6)
+        assert batch is not None and batch.size == 1
+        assert batch.closed_ns == 1e6
+
+    def test_unbatched_mode(self, catalog):
+        coalescer = BatchCoalescer(max_wait_ns=0.0)
+        for i in range(5):
+            outcome = coalescer.add(_request(catalog, i), float(i))
+            assert outcome.batch is not None and outcome.batch.size == 1
+        assert coalescer.mean_batch_size == 1.0
+
+    def test_flush_all_drains_both_kinds(self, catalog):
+        coalescer = BatchCoalescer(max_batch_requests=8, max_wait_ns=1e6)
+        coalescer.add(_request(catalog, 0, KIND_SERIALIZE), 0.0)
+        coalescer.add(_request(catalog, 1, KIND_DESERIALIZE), 0.0)
+        batches = coalescer.flush_all(5.0)
+        assert len(batches) == 2
+        assert {b.kind for b in batches} == {KIND_SERIALIZE, KIND_DESERIALIZE}
+        assert coalescer.flush_all(6.0) == []
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            BatchCoalescer(max_batch_requests=0)
+        with pytest.raises(ConfigError):
+            BatchCoalescer(max_wait_ns=-1.0)
+
+
+class TestAdmission:
+    def test_admit_below_threshold(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_outstanding=10, degrade_threshold=0.8)
+        )
+        for _ in range(7):
+            assert controller.decide() == DECISION_ADMIT
+        assert controller.outstanding == 7
+
+    def test_degrade_band_then_shed(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_outstanding=10, degrade_threshold=0.8)
+        )
+        decisions = [controller.decide() for _ in range(12)]
+        assert decisions[:8] == [DECISION_ADMIT] * 8
+        assert decisions[8:10] == [DECISION_DEGRADE] * 2
+        assert decisions[10:] == [DECISION_SHED] * 2
+        assert controller.outstanding == 10  # shed requests take no slot
+        assert controller.peak_outstanding == 10
+        assert controller.total_seen == 12
+
+    def test_release_reopens_admission(self):
+        controller = AdmissionController(AdmissionConfig(max_outstanding=2))
+        controller.decide(), controller.decide()
+        assert controller.decide() == DECISION_SHED
+        controller.release()
+        assert controller.decide() != DECISION_SHED
+
+    def test_degrade_disabled(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_outstanding=4, degrade_threshold=0.5, enable_degrade=False
+            )
+        )
+        assert [controller.decide() for _ in range(4)] == [DECISION_ADMIT] * 4
+
+    def test_over_release_rejected(self):
+        controller = AdmissionController()
+        with pytest.raises(ConfigError):
+            controller.release()
+
+
+def _record(i, latency_ns, outcome=OUTCOME_OK, kind=KIND_SERIALIZE):
+    backend = "none" if outcome == OUTCOME_SHED else "cereal"
+    finish = 0.0 if outcome == OUTCOME_SHED else latency_ns
+    return RequestRecord(
+        request_id=i,
+        kind=kind,
+        size_class="small",
+        arrival_ns=0.0,
+        dispatch_ns=0.0,
+        finish_ns=finish,
+        outcome=outcome,
+        backend=backend,
+    )
+
+
+class TestSLOReport:
+    def test_percentiles_over_known_population(self):
+        records = [_record(i, float(i + 1)) for i in range(100)]
+        report = SLOReport(records=records)
+        assert report.p50() == pytest.approx(50.5)
+        assert report.p99() == pytest.approx(99.01)
+        assert report.max_latency_ns() == 100.0
+        assert report.mean_latency_ns() == pytest.approx(50.5)
+
+    def test_shed_requests_excluded_from_latency(self):
+        records = [_record(i, 10.0) for i in range(9)]
+        records.append(_record(9, 1e9, outcome=OUTCOME_SHED))
+        report = SLOReport(records=records)
+        assert report.shed_requests == 1
+        assert report.shed_rate == pytest.approx(0.1)
+        assert report.max_latency_ns() == 10.0
+
+    def test_per_kind_split(self):
+        records = [_record(i, 10.0, kind=KIND_SERIALIZE) for i in range(5)]
+        records += [
+            _record(5 + i, 30.0, kind=KIND_DESERIALIZE) for i in range(5)
+        ]
+        report = SLOReport(records=records)
+        assert report.p50(KIND_SERIALIZE) == 10.0
+        assert report.p50(KIND_DESERIALIZE) == 30.0
+
+    def test_as_dict_shape(self):
+        records = [_record(0, 5.0), _record(1, 7.0, outcome=OUTCOME_DEGRADED)]
+        summary = SLOReport(records=records).as_dict()
+        assert summary["requests"] == {
+            "total": 2,
+            "completed": 2,
+            "shed": 0,
+            "degraded": 1,
+            "verified": 0,
+        }
+        assert set(summary["latency_ns"]["all"]) == {
+            "p50", "p95", "p99", "p999", "mean", "max",
+        }
+        assert "faults" not in summary
+
+    def test_to_table_renders(self):
+        records = [_record(i, float(i + 1) * 1e3) for i in range(10)]
+        text = SLOReport(records=records).to_table().render()
+        assert "p99" in text and "goodput" in text
