@@ -1,0 +1,374 @@
+"""Wall-clock performance harness with regression gates.
+
+Unlike the figure benches (which report *simulated* time), this bench
+measures how fast the reproduction itself runs: the real seconds the
+Python kernels burn. It covers the three layers the integer-bitstream
+fast path rewrote:
+
+1. **Packing kernels** — the Section IV-B pack/unpack round trip, fast
+   word-level kernels vs the preserved per-bit oracle in
+   :mod:`repro.formats.slow_reference`. Output bytes are asserted
+   identical; the speedup is the tentpole metric and must stay >= 3x.
+2. **Format codecs** — encode/decode MB/s and objects/s for all four
+   serializers over a seeded microbenchmark graph.
+3. **Service layer** — simulated-nanoseconds advanced per wall-clock
+   second by the analytic event-loop server.
+
+Gating policy: absolute MB/s depends on the host, so CI gates only on
+machine-portable *ratios* (fast vs slow measured back-to-back on the same
+machine) against ``benchmarks/wallclock_baseline.json`` with 20%
+tolerance, plus the hard >= 3x tentpole floor. Absolute numbers are
+recorded informationally in ``BENCH_wallclock.json``.
+
+Run standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke
+
+refresh the checked-in ratio baseline::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_wallclock.py`
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _emit import emit_json  # noqa: E402
+from repro.formats import (  # noqa: E402
+    CerealSerializer,
+    ClassRegistration,
+    JavaSerializer,
+    KryoSerializer,
+    SkywaySerializer,
+    graphs_equivalent,
+)
+from repro.formats import packing  # noqa: E402
+from repro.formats import slow_reference as slow  # noqa: E402
+from repro.jvm import Heap  # noqa: E402
+from repro.service import (  # noqa: E402
+    PoissonWorkload,
+    SerializationServer,
+    ServiceCatalog,
+    ServiceConfig,
+)
+from repro.workloads.datagen import DeterministicRandom  # noqa: E402
+from repro.workloads.micro import MicrobenchConfig, build_tree_bench  # noqa: E402
+
+_SEED = 0xB175
+_SPEEDUP_FLOOR = 3.0  # tentpole: fast packing round trip must stay >= 3x
+_REGRESSION_TOLERANCE = 0.20  # ratios may drift 20% below baseline, no more
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_RESULTS_DIR = os.path.join(_HERE, "results")
+_BASELINE_PATH = os.path.join(_HERE, "wallclock_baseline.json")
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall time of ``repeats`` runs (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+def _round(value: float, digits: int = 3) -> float:
+    return float(f"{value:.{digits}g}")
+
+
+# ---------------------------------------------------------------- packing kernels
+
+
+def _packing_inputs(smoke: bool) -> Tuple[List[int], List[Tuple[int, int]]]:
+    rng = DeterministicRandom(seed=_SEED)
+    item_count = 4_000 if smoke else 20_000
+    bitmap_count = 1_000 if smoke else 5_000
+    values = [
+        rng.randint(0, 1 << rng.randint(1, 34)) for _ in range(item_count)
+    ]
+    bitmaps = []
+    for _ in range(bitmap_count):
+        width = rng.randint(3, 80)
+        bitmaps.append((rng.randint(0, (1 << width) - 1), width))
+    return values, bitmaps
+
+
+def bench_packing(smoke: bool) -> Dict[str, object]:
+    values, bitmaps = _packing_inputs(smoke)
+    bitmap_lists = [
+        [(word >> (width - 1 - i)) & 1 for i in range(width)]
+        for word, width in bitmaps
+    ]
+    repeats = 3 if smoke else 5
+
+    # Byte identity first — a fast path that drifts is not a fast path.
+    fast_items = packing.pack_items(values)
+    slow_items = slow.slow_pack_items(values)
+    fast_maps = packing.pack_bitmap_words(bitmaps)
+    slow_maps = slow.slow_pack_bitmaps(bitmap_lists)
+    byte_identical = (
+        fast_items.data == slow_items.data
+        and fast_items.end_map == slow_items.end_map
+        and fast_maps.data == slow_maps.data
+        and fast_maps.end_map == slow_maps.end_map
+        and packing.unpack_items(fast_items) == values
+        and packing.unpack_bitmap_words(fast_maps) == bitmaps
+    )
+
+    fast_item_s = _best_of(
+        lambda: packing.unpack_items(packing.pack_items(values)), repeats
+    )
+    slow_item_s = _best_of(
+        lambda: slow.slow_unpack_items(slow.slow_pack_items(values)), repeats
+    )
+    fast_map_s = _best_of(
+        lambda: packing.unpack_bitmap_words(packing.pack_bitmap_words(bitmaps)),
+        repeats,
+    )
+    slow_map_s = _best_of(
+        lambda: slow.slow_unpack_bitmaps(slow.slow_pack_bitmaps(bitmap_lists)),
+        repeats,
+    )
+    packed_bytes = fast_items.total_bytes + fast_maps.total_bytes
+    return {
+        "byte_identical": byte_identical,
+        "item_count": len(values),
+        "bitmap_count": len(bitmaps),
+        "packed_bytes": packed_bytes,
+        "packing_speedup": _round(slow_item_s / fast_item_s),
+        "bitmap_speedup": _round(slow_map_s / fast_map_s),
+        "roundtrip_speedup": _round(
+            (slow_item_s + slow_map_s) / (fast_item_s + fast_map_s)
+        ),
+        "fast_items_per_sec": _round(len(values) / fast_item_s),
+        "slow_items_per_sec": _round(len(values) / slow_item_s),
+    }
+
+
+# ---------------------------------------------------------------- format codecs
+
+
+def _build_payload(smoke: bool):
+    heap = Heap()
+    config = MicrobenchConfig(
+        name="wallclock",
+        shape="tree",
+        variant="bench",
+        paper_objects=96 if smoke else 384,
+        scale=1,
+        fanout=2,
+    )
+    root = build_tree_bench(heap, config)
+    registration = ClassRegistration()
+    for klass in heap.registry:
+        registration.register(klass)
+    return heap, root, registration
+
+
+def bench_formats(smoke: bool) -> Dict[str, Dict[str, float]]:
+    heap, root, registration = _build_payload(smoke)
+    serializers = {
+        "java": JavaSerializer(),
+        "kryo": KryoSerializer(registration),
+        "skyway": SkywaySerializer(registration),
+        "cereal": CerealSerializer(registration),
+    }
+    repeats = 3 if smoke else 5
+    out: Dict[str, Dict[str, float]] = {}
+    for name, serializer in serializers.items():
+        result = serializer.serialize(root)
+        stream = result.stream
+        rebuilt = serializer.deserialize(
+            stream, Heap(registry=heap.registry)
+        ).root
+        if not graphs_equivalent(root, rebuilt):
+            raise AssertionError(f"{name} round trip failed in wallclock bench")
+        ser_s = _best_of(lambda: serializer.serialize(root), repeats)
+        de_s = _best_of(
+            lambda: serializer.deserialize(stream, Heap(registry=heap.registry)),
+            repeats,
+        )
+        objects = stream.object_count
+        out[name] = {
+            "stream_bytes": stream.size_bytes,
+            "serialize_mb_per_sec": _round(stream.size_bytes / ser_s / 1e6),
+            "deserialize_mb_per_sec": _round(stream.size_bytes / de_s / 1e6),
+            "serialize_objects_per_sec": _round(objects / ser_s),
+            "deserialize_objects_per_sec": _round(objects / de_s),
+        }
+    return out
+
+
+# ---------------------------------------------------------------- service layer
+
+
+def bench_service(smoke: bool) -> Dict[str, float]:
+    begin = time.perf_counter()
+    catalog = ServiceCatalog()
+    build_s = time.perf_counter() - begin
+    config = ServiceConfig(num_shards=2, engine="analytic", functional="off")
+    workload = PoissonWorkload(
+        qps=120_000.0,
+        num_requests=1_000 if smoke else 5_000,
+        seed=_SEED,
+    )
+    requests = workload.generate(catalog)
+    server = SerializationServer(catalog, config)
+    begin = time.perf_counter()
+    report = server.run(requests)
+    run_s = time.perf_counter() - begin
+    sim_ns = max(record.finish_ns for record in report.records)
+    return {
+        "requests": len(requests),
+        "catalog_build_sec": _round(build_s),
+        "run_sec": _round(run_s),
+        "sim_seconds_per_wall_second": _round(sim_ns / 1e9 / run_s),
+        "requests_per_wall_second": _round(len(requests) / run_s),
+    }
+
+
+# ---------------------------------------------------------------- gates
+
+
+def load_baseline() -> Optional[Dict[str, float]]:
+    if not os.path.exists(_BASELINE_PATH):
+        return None
+    with open(_BASELINE_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def evaluate_checks(
+    packing_results: Dict[str, object], baseline: Optional[Dict[str, float]]
+) -> Dict[str, Dict[str, object]]:
+    checks: Dict[str, Dict[str, object]] = {}
+    checks["packing_byte_identical"] = {
+        "ok": bool(packing_results["byte_identical"]),
+        "detail": "fast word-level kernels emit the oracle's exact bytes",
+    }
+    speedup = float(packing_results["packing_speedup"])  # type: ignore[arg-type]
+    checks["packing_speedup_floor"] = {
+        "ok": speedup >= _SPEEDUP_FLOOR,
+        "detail": f"round-trip speedup {speedup:.2f}x vs floor {_SPEEDUP_FLOOR}x",
+    }
+    if baseline is None:
+        checks["baseline_regression"] = {
+            "ok": True,
+            "detail": "no wallclock_baseline.json; run --update-baseline",
+        }
+        return checks
+    failures = []
+    for metric in ("packing_speedup", "bitmap_speedup"):
+        reference = baseline.get(metric)
+        if reference is None:
+            continue
+        measured = float(packing_results[metric])  # type: ignore[arg-type]
+        floor = reference * (1.0 - _REGRESSION_TOLERANCE)
+        if measured < floor:
+            failures.append(
+                f"{metric} {measured:.2f}x < {floor:.2f}x "
+                f"(baseline {reference:.2f}x - {_REGRESSION_TOLERANCE:.0%})"
+            )
+    checks["baseline_regression"] = {
+        "ok": not failures,
+        "detail": "; ".join(failures) if failures else (
+            "ratio metrics within 20% of checked-in baseline"
+        ),
+    }
+    return checks
+
+
+# ---------------------------------------------------------------- driver
+
+
+def run(smoke: bool = False, update_baseline: bool = False) -> bool:
+    packing_results = bench_packing(smoke)
+    format_results = bench_formats(smoke)
+    service_results = bench_service(smoke)
+
+    if update_baseline:
+        baseline = {
+            "packing_speedup": packing_results["packing_speedup"],
+            "bitmap_speedup": packing_results["bitmap_speedup"],
+        }
+        with open(_BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {_BASELINE_PATH}")
+    checks = evaluate_checks(packing_results, load_baseline())
+
+    emit_json(
+        _RESULTS_DIR,
+        "wallclock",
+        results={
+            "packing": packing_results,
+            "formats": format_results,
+            "service": service_results,
+        },
+        meta={
+            "seed": _SEED,
+            "smoke": smoke,
+            "note": (
+                "absolute MB/s and obj/s are host-dependent and informational; "
+                "CI gates only on same-machine fast-vs-slow ratios"
+            ),
+        },
+        checks=checks,
+    )
+
+    print("wallclock bench")
+    print(
+        f"  packing: {packing_results['packing_speedup']}x items, "
+        f"{packing_results['bitmap_speedup']}x bitmaps, "
+        f"byte_identical={packing_results['byte_identical']}"
+    )
+    for name, metrics in sorted(format_results.items()):
+        print(
+            f"  {name:7s} ser {metrics['serialize_mb_per_sec']:>8} MB/s  "
+            f"de {metrics['deserialize_mb_per_sec']:>8} MB/s  "
+            f"({metrics['serialize_objects_per_sec']} obj/s)"
+        )
+    print(
+        f"  service: {service_results['sim_seconds_per_wall_second']} "
+        f"sim-sec/wall-sec over {service_results['requests']} requests"
+    )
+    ok = True
+    for check, outcome in sorted(checks.items()):
+        status = "ok" if outcome["ok"] else "FAIL"
+        print(f"  [{status}] {check}: {outcome['detail']}")
+        ok = ok and bool(outcome["ok"])
+    return ok
+
+
+def test_wallclock_smoke():
+    """Pytest entry point (exercised by the benchmark suite, not tier-1)."""
+    assert run(smoke=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small inputs for CI smoke runs"
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite wallclock_baseline.json with this run's ratios",
+    )
+    args = parser.parse_args(argv)
+    return 0 if run(smoke=args.smoke, update_baseline=args.update_baseline) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

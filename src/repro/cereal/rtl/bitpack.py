@@ -15,12 +15,18 @@ object packing scheme:
 Both directions process **one item per cycle** (the rate the SU's
 reference array writer and the DU's unpackers are charged in the timing
 models), and both are bit-exact against :mod:`repro.formats.packing`.
+
+The simulation itself runs the word-level kernels — an item is one barrel
+shift (``int`` shift/or) plus one byte emit (``int.to_bytes``), mirroring
+what the modeled datapath does in a single beat. Cycle accounting is
+unchanged from the per-bit model.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.common.bitstream import bits_to_word, trailing_zeros, word_to_bits
 from repro.common.errors import SimulationError
 from repro.formats.packing import PackedArray
 
@@ -31,39 +37,29 @@ class _BitAccumulator:
     def __init__(self) -> None:
         self.data = bytearray()
         self.end_map_positions: List[int] = []
-        self._acc = 0
-        self._acc_bits = 0
 
-    def append_item(self, bits: Sequence[int]) -> None:
-        """Append an item's payload bits + end bit, byte-aligned."""
-        for bit in bits:
-            self._acc = (self._acc << 1) | bit
-            self._acc_bits += 1
-        # End bit.
-        self._acc = (self._acc << 1) | 1
-        self._acc_bits += 1
-        # Zero-pad to the byte boundary (the aligner).
-        padding = (-self._acc_bits) % 8
-        self._acc <<= padding
-        self._acc_bits += padding
-        while self._acc_bits >= 8:
-            shift = self._acc_bits - 8
-            self.data.append((self._acc >> shift) & 0xFF)
-            self._acc &= (1 << shift) - 1
-            self._acc_bits -= 8
+    def append_word(self, value: int, width: int) -> None:
+        """Append an item (``width`` payload bits) + end bit, byte-aligned.
+
+        One barrel-shift beat: payload, end bit, and alignment padding are
+        composed in a single word and emitted as whole bytes.
+        """
+        nbits = width + 1
+        nbytes = (nbits + 7) >> 3
+        self.data += (((value << 1) | 1) << ((nbytes << 3) - nbits)).to_bytes(
+            nbytes, "big"
+        )
         self.end_map_positions.append(len(self.data) - 1)
 
+    def append_item(self, bits: Sequence[int]) -> None:
+        """Append an item given as a bit list (legacy probe surface)."""
+        value, width = bits_to_word(bits)
+        self.append_word(value, width)
+
     def result(self, item_count: int) -> PackedArray:
-        assert self._acc_bits == 0  # items are always byte-aligned
-        end_map_bits = [0] * len(self.data)
+        end_map = bytearray((len(self.data) + 7) >> 3)
         for position in self.end_map_positions:
-            end_map_bits[position] = 1
-        end_map = bytearray()
-        for start in range(0, len(end_map_bits), 8):
-            byte = 0
-            for offset, bit in enumerate(end_map_bits[start : start + 8]):
-                byte |= bit << (7 - offset)
-            end_map.append(byte)
+            end_map[position >> 3] |= 0x80 >> (position & 7)
         return PackedArray(
             data=bytes(self.data), end_map=bytes(end_map), item_count=item_count
         )
@@ -92,8 +88,7 @@ class PackerDatapath:
         if value < 0:
             raise SimulationError("packed values must be non-negative")
         width = max(1, priority_encode(value))
-        bits = [(value >> (width - 1 - i)) & 1 for i in range(width)]
-        self._accumulator.append_item(bits)
+        self._accumulator.append_word(value, width)
         self._items += 1
         self.cycles += 1
 
@@ -111,14 +106,26 @@ class BitmapPackerDatapath:
         self._items = 0
         self.cycles = 0
 
+    def push_bitmap_word(self, value: int, width: int) -> None:
+        """Pack one bitmap given as an MSB-first ``(word, width)`` pair."""
+        if width < 1:
+            raise SimulationError("layout bitmap must be non-empty")
+        if value < 0 or value.bit_length() > width:
+            raise SimulationError("layout bitmap word out of range")
+        self._accumulator.append_word(value, width)
+        self._items += 1
+        self.cycles += (width + self.BITS_PER_CYCLE - 1) // self.BITS_PER_CYCLE
+
     def push_bitmap(self, bits: Sequence[int]) -> None:
         if not bits:
             raise SimulationError("layout bitmap must be non-empty")
-        if any(bit not in (0, 1) for bit in bits):
-            raise SimulationError("layout bitmap must contain only 0/1")
-        self._accumulator.append_item(list(bits))
-        self._items += 1
-        self.cycles += (len(bits) + self.BITS_PER_CYCLE - 1) // self.BITS_PER_CYCLE
+        try:
+            value, width = bits_to_word(bits)
+        except ValueError:
+            raise SimulationError(
+                "layout bitmap must contain only 0/1"
+            ) from None
+        self.push_bitmap_word(value, width)
 
     def result(self) -> PackedArray:
         return self._accumulator.result(self._items)
@@ -132,46 +139,56 @@ class UnpackerDatapath:
         self._byte_cursor = 0
         self._emitted = 0
         self.cycles = 0
+        # End-map scanner state: every set bit, in increasing position,
+        # extracted word-at-a-time instead of probing byte by byte.
+        data_len = len(packed.data)
+        end_word = int.from_bytes(packed.end_map, "big")
+        total = len(packed.end_map) * 8
+        positions: List[int] = []
+        while end_word:
+            msb = end_word.bit_length() - 1
+            position = total - 1 - msb
+            if position >= data_len:
+                break  # end bits beyond the data are never reached
+            positions.append(position)
+            end_word &= (1 << msb) - 1
+        self._end_positions = positions
+        self._end_index = 0
 
-    def _end_map_bit(self, byte_index: int) -> int:
-        byte = self.packed.end_map[byte_index // 8]
-        return (byte >> (7 - byte_index % 8)) & 1
-
-    def next_item_bits(self) -> Optional[List[int]]:
-        """Recover the next item's payload bits; None when drained."""
+    def next_item_word(self) -> Optional[Tuple[int, int]]:
+        """Recover the next item as ``(payload, width)``; None when drained."""
         if self._emitted >= self.packed.item_count:
             return None
         # End-map scanner: advance to this item's final byte.
-        start = self._byte_cursor
-        end = start
-        while end < len(self.packed.data) and not self._end_map_bit(end):
-            end += 1
-        if end >= len(self.packed.data):
+        if self._end_index >= len(self._end_positions):
             raise SimulationError("end map exhausted before item boundary")
-        bucket_bits: List[int] = []
-        for byte in self.packed.data[start : end + 1]:
-            bucket_bits.extend((byte >> (7 - i)) & 1 for i in range(8))
+        start = self._byte_cursor
+        end = self._end_positions[self._end_index]
+        word = int.from_bytes(self.packed.data[start : end + 1], "big")
         # Trailing-one detector: the last set bit is the end bit.
-        last_one = -1
-        for position, bit in enumerate(bucket_bits):
-            if bit:
-                last_one = position
-        if last_one < 0:
+        if word == 0:
             raise SimulationError("item buckets contain no end bit")
+        pad = trailing_zeros(word)
+        width = (end + 1 - start) * 8 - pad - 1
+        self._end_index += 1
         self._byte_cursor = end + 1
         self._emitted += 1
         self.cycles += 1
-        return bucket_bits[:last_one]
+        return word >> (pad + 1), width
+
+    def next_item_bits(self) -> Optional[List[int]]:
+        """Recover the next item's payload bits; None when drained."""
+        item = self.next_item_word()
+        if item is None:
+            return None
+        return word_to_bits(item[0], item[1])
 
     def next_value(self) -> Optional[int]:
         """Recover the next numeric item (reference relative address)."""
-        bits = self.next_item_bits()
-        if bits is None:
+        item = self.next_item_word()
+        if item is None:
             return None
-        value = 0
-        for bit in bits:
-            value = (value << 1) | bit
-        return value
+        return item[0]
 
     def drain_values(self) -> List[int]:
         out = []

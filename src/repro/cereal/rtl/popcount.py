@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
+from repro.common.bitstream import popcount_word
 from repro.common.errors import SimulationError
 
 
@@ -47,13 +48,26 @@ class PopcountTree:
         return levels
 
     def count(self, bits: Sequence[int]) -> Tuple[int, int]:
-        """(ones, zeros) of the chunk — what the LM hands the block manager."""
-        ones = self.levels(bits)[-1][0]
+        """(ones, zeros) of the chunk — what the LM hands the block manager.
+
+        Numerically identical to ``levels(bits)[-1][0]`` (the adder tree is
+        exact), computed directly; :meth:`levels` remains the structural
+        probe for the logic-depth argument.
+        """
+        if len(bits) != self.width:
+            raise SimulationError(
+                f"expected {self.width} bits, got {len(bits)}"
+            )
+        ones = 0
+        for bit in bits:
+            if bit not in (0, 1):
+                raise SimulationError("popcount inputs must be 0/1")
+            ones += bit
         return ones, self.width - ones
 
     def count_byte(self, value: int) -> Tuple[int, int]:
-        """Convenience: count over a byte-encoded chunk (MSB first)."""
+        """Count over a word-encoded chunk (MSB first) — single popcount op."""
         if not 0 <= value < (1 << self.width):
             raise SimulationError(f"value out of {self.width}-bit range")
-        bits = [(value >> (self.width - 1 - i)) & 1 for i in range(self.width)]
-        return self.count(bits)
+        ones = popcount_word(value)
+        return ones, self.width - ones

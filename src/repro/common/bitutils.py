@@ -24,16 +24,30 @@ def significant_bits(value: int) -> int:
 
 
 def int_to_bits(value: int, width: int) -> List[int]:
-    """Big-endian bit list of ``value`` using exactly ``width`` bits."""
+    """Big-endian bit list of ``value`` using exactly ``width`` bits.
+
+    ``width`` must be at least 1: a zero-width encoding carries no bits to
+    decode and historically produced a silent empty list (so
+    ``int_to_bits(0, 0)`` round-tripped through ``bits_to_int`` as an
+    *absence* rather than a value). Both ends of that asymmetry now raise.
+    """
     if value < 0:
         raise ValueError(f"value must be non-negative, got {value}")
+    if width < 1:
+        raise ValueError(f"width must be at least 1, got {width}")
     if width < value.bit_length():
         raise ValueError(f"width {width} too small for value {value}")
     return [(value >> (width - 1 - i)) & 1 for i in range(width)]
 
 
 def bits_to_int(bits: Sequence[int]) -> int:
-    """Inverse of :func:`int_to_bits` (big-endian)."""
+    """Inverse of :func:`int_to_bits` (big-endian).
+
+    Rejects the empty sequence for symmetry with :func:`int_to_bits`:
+    zero-width bit strings are not valid encodings of any value.
+    """
+    if len(bits) == 0:
+        raise ValueError("cannot decode an empty bit sequence")
     value = 0
     for bit in bits:
         if bit not in (0, 1):
@@ -43,7 +57,15 @@ def bits_to_int(bits: Sequence[int]) -> int:
 
 
 def bits_to_bytes(bits: Sequence[int]) -> bytes:
-    """Pack a bit sequence into bytes, MSB-first, zero-padding the tail."""
+    """Pack a bit sequence into bytes, MSB-first, zero-padding the tail.
+
+    **Tail padding is lossy about length**: packing ``n`` bits produces
+    ``ceil(n / 8)`` bytes, and the pad bits are indistinguishable from
+    payload zeros. A round trip through a non-multiple-of-8 bit count must
+    therefore carry the declared bit length out of band and pass it to
+    :func:`bytes_to_bits` via ``bit_count`` — otherwise the bit string
+    silently grows to the next byte boundary.
+    """
     out = bytearray()
     acc = 0
     count = 0
@@ -62,7 +84,13 @@ def bits_to_bytes(bits: Sequence[int]) -> bytes:
 
 
 def bytes_to_bits(data: bytes, bit_count: int | None = None) -> List[int]:
-    """Unpack bytes into a bit list, MSB-first, truncated to ``bit_count``."""
+    """Unpack bytes into a bit list, MSB-first, truncated to ``bit_count``.
+
+    Without ``bit_count`` the result always has ``len(data) * 8`` bits —
+    including any zero bits :func:`bits_to_bytes` added as tail padding.
+    Callers that packed a non-multiple-of-8 bit string must pass the
+    original length here to get the same string back.
+    """
     bits: List[int] = []
     for byte in data:
         for shift in range(7, -1, -1):

@@ -44,14 +44,16 @@ from repro.formats.base import (
     Serializer,
     WorkProfile,
 )
-from repro.common.bitutils import bits_to_bytes, bytes_to_bits
+from repro.common.bitstream import bits_to_word, word_to_bits
+from repro.common.bitutils import bytes_to_bits
 from repro.formats.packing import (
     PackedArray,
-    pack_bitmaps,
+    pack_bitmap_words,
     pack_items,
-    unpack_bitmaps,
+    unpack_bitmap_words,
     unpack_items,
 )
+from repro.jvm.layout_cache import layout_of
 from repro.formats.registry import ClassRegistration
 from repro.jvm.graph import ObjectGraph
 from repro.jvm.heap import Heap, HeapObject, NULL_ADDRESS
@@ -105,11 +107,18 @@ class CerealStreamSections:
 
     def layout_bitmaps(self) -> List[List[int]]:
         """Per-object layout bitmaps, either format."""
+        return [
+            word_to_bits(word, width)
+            for word, width in self.layout_bitmap_words()
+        ]
+
+    def layout_bitmap_words(self) -> List[tuple]:
+        """Per-object layout bitmaps as ``(word, width)`` pairs (fast path)."""
         if self.packed:
             assert self.bitmaps is not None
-            return unpack_bitmaps(self.bitmaps)
+            return unpack_bitmap_words(self.bitmaps)
         assert self.raw_bitmaps is not None
-        return [list(bitmap) for bitmap in self.raw_bitmaps]
+        return [bits_to_word(bitmap) for bitmap in self.raw_bitmaps]
 
     @property
     def reference_count(self) -> int:
@@ -164,7 +173,8 @@ class CerealSerializer(Serializer):
 
         value_words: List[int] = []
         reference_values: List[int] = []
-        bitmaps: List[List[int]] = []
+        bitmap_words: List[tuple] = []
+        relative_address = graph.relative_address
 
         for obj in graph:
             profile.objects += 1
@@ -175,31 +185,26 @@ class CerealSerializer(Serializer):
                     f"call register_class() first"
                 )
             class_id = self.registration.id_of(obj.klass)
-            bitmap = obj.layout_bitmap()
-            bitmaps.append(bitmap)
+            # All per-shape metadata comes from the memoized klass layout;
+            # the whole object image is read in one bulk word access.
+            layout = layout_of(obj.klass, header_slots, obj.length)
+            bitmap_words.append((layout.bitmap_word, layout.bitmap_width))
+            words = memory.read_words(obj.address, layout.total_slots)
+            profile.add_instructions(_INSTR_PER_SLOT * layout.total_slots)
 
-            reference_slots = set(obj.reference_slots())
-            for slot in range(obj.total_slots):
-                profile.add_instructions(_INSTR_PER_SLOT)
-                if slot < header_slots:
-                    if slot == _MARK_SLOT:
-                        if not self.strip_mark_word:
-                            value_words.append(memory.read_u64(obj.address))
-                    elif slot == _KLASS_SLOT:
-                        value_words.append(class_id)
-                    else:
-                        value_words.append(0)  # zeroed Cereal extension word
-                    continue
-                field_slot = slot - header_slots
-                raw = memory.read_u64(obj.slot_address(field_slot))
-                if field_slot in reference_slots:
+            if not self.strip_mark_word:
+                value_words.append(words[_MARK_SLOT])
+            value_words.append(class_id)
+            value_words.extend([0] * (header_slots - 2))  # zeroed extension
+            reference_slot_set = layout.reference_slot_set
+            for field_slot in range(layout.field_slots):
+                raw = words[header_slots + field_slot]
+                if field_slot in reference_slot_set:
                     profile.reference_fields += 1
                     if raw == NULL_ADDRESS:
                         reference_values.append(0)
                     else:
-                        reference_values.append(
-                            graph.relative_address[raw] + 1
-                        )
+                        reference_values.append(relative_address[raw] + 1)
                 else:
                     profile.value_fields += 1
                     value_words.append(raw)
@@ -213,7 +218,7 @@ class CerealSerializer(Serializer):
 
         if self.use_packing:
             packed_refs = pack_items(reference_values)
-            packed_bitmaps = pack_bitmaps(bitmaps)
+            packed_bitmaps = pack_bitmap_words(bitmap_words)
             ref_frame = struct.pack(
                 "<III",
                 len(packed_refs.data),
@@ -238,9 +243,12 @@ class CerealSerializer(Serializer):
                 f"<{len(reference_values)}Q", *reference_values
             )
             bitmap_chunks = []
-            for bitmap in bitmaps:
-                bitmap_chunks.append(struct.pack("<Q", len(bitmap)))
-                bitmap_chunks.append(bits_to_bytes(bitmap))
+            for word, width in bitmap_words:
+                nbytes = (width + 7) // 8
+                bitmap_chunks.append(struct.pack("<Q", width))
+                bitmap_chunks.append(
+                    (word << (nbytes * 8 - width)).to_bytes(nbytes, "big")
+                )
             bitmap_bytes = b"".join(bitmap_chunks)
             ref_frame = struct.pack("<I", len(reference_values))
             bitmap_frame = struct.pack("<I", len(bitmap_bytes))
@@ -372,10 +380,12 @@ class CerealSerializer(Serializer):
             raise FormatError("empty Cereal stream")
 
         references = sections.reference_values()
-        bitmaps = sections.layout_bitmaps()
+        bitmap_items = sections.layout_bitmap_words()
         base = heap.reserve(sections.graph_total_bytes)
         memory = heap.memory
         header_slots = heap.header_slots
+        value_words_in = sections.value_words
+        value_count = len(value_words_in)
 
         value_cursor = 0
         ref_cursor = 0
@@ -383,27 +393,29 @@ class CerealSerializer(Serializer):
         root_obj: Optional[HeapObject] = None
         reference_slot_addresses = []  # (slot address, relative) to validate
 
-        for bitmap in bitmaps:
+        for bitmap_word, bitmap_width in bitmap_items:
             address = base + offset
             profile.objects += 1
             profile.allocations += 1
             profile.add_instructions(_INSTR_PER_OBJECT)
-            if len(bitmap) < header_slots:
+            if bitmap_width < header_slots:
                 raise FormatError("layout bitmap smaller than the object header")
             klass = None
-            for slot, bit in enumerate(bitmap):
-                slot_address = address + slot * SLOT_BYTES
+            # Assemble the whole object image in Python, then commit it to
+            # simulated memory with one bulk word write.
+            slot_words: List[int] = []
+            for slot in range(bitmap_width):
                 profile.add_instructions(_INSTR_PER_SLOT)
-                if bit:
+                if (bitmap_word >> (bitmap_width - 1 - slot)) & 1:
                     relative = references[ref_cursor]
                     ref_cursor += 1
                     profile.reference_fields += 1
                     if relative == 0:
-                        memory.write_u64(slot_address, NULL_ADDRESS)
+                        slot_words.append(NULL_ADDRESS)
                     else:
-                        memory.write_u64(slot_address, base + relative - 1)
+                        slot_words.append(base + relative - 1)
                         reference_slot_addresses.append(
-                            (slot_address, relative - 1)
+                            (address + slot * SLOT_BYTES, relative - 1)
                         )
                     continue
                 if slot == _MARK_SLOT and sections.mark_stripped:
@@ -412,8 +424,8 @@ class CerealSerializer(Serializer):
                         identity_hash=identity_hash_for(address)
                     ).encode()
                     profile.add_instructions(12)
-                elif value_cursor < len(sections.value_words):
-                    word = sections.value_words[value_cursor]
+                elif value_cursor < value_count:
+                    word = value_words_in[value_cursor]
                     value_cursor += 1
                 else:
                     raise FormatError("value array exhausted mid-object")
@@ -421,22 +433,23 @@ class CerealSerializer(Serializer):
                     # Class ID Table lookup: class ID -> klass address.
                     klass = self.registration.klass_of(word)
                     assert klass.metaspace_address is not None
-                    memory.write_u64(slot_address, klass.metaspace_address)
+                    slot_words.append(klass.metaspace_address)
                 else:
-                    memory.write_u64(slot_address, word)
+                    slot_words.append(word)
                 profile.value_fields += 1
+            memory.write_words(address, slot_words)
 
             if klass is None:
                 raise FormatError("object bitmap marks the klass slot as reference")
             length = 0
             if isinstance(klass, ArrayKlass):
-                length = memory.read_u64(address + header_slots * SLOT_BYTES)
+                length = slot_words[header_slots]
             obj = heap.register_object(address, klass, length)
             if root_obj is None:
                 root_obj = obj
-            if obj.size_bytes != len(bitmap) * SLOT_BYTES:
+            if obj.size_bytes != bitmap_width * SLOT_BYTES:
                 raise FormatError(
-                    f"bitmap length {len(bitmap)} disagrees with object size "
+                    f"bitmap length {bitmap_width} disagrees with object size "
                     f"{obj.size_bytes} for {klass.name}"
                 )
             offset += obj.size_bytes
@@ -454,9 +467,9 @@ class CerealSerializer(Serializer):
         # so a corrupted stream cannot leave dangling references behind.
         valid_offsets = set()
         cursor = 0
-        for bitmap in bitmaps:
+        for _, bitmap_width in bitmap_items:
             valid_offsets.add(cursor)
-            cursor += len(bitmap) * SLOT_BYTES
+            cursor += bitmap_width * SLOT_BYTES
         for slot_address, relative in reference_slot_addresses:
             if relative not in valid_offsets:
                 raise FormatError(

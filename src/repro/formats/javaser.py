@@ -199,10 +199,12 @@ class JavaSerializer(Serializer):
                         profile.add_instructions(_INSTR_PER_REFERENCE)
                         yield obj.get_element(index)  # type: ignore[misc]
                 else:
-                    for index in range(obj.length):
-                        write_primitive(
-                            obj.klass.element_kind, obj.get_element(index)
-                        )
+                    # One bulk heap read for the whole element storage; the
+                    # per-element stream encoding (and accounting) is
+                    # unchanged.
+                    element_kind = obj.klass.element_kind
+                    for value in obj.get_elements():
+                        write_primitive(element_kind, value)
             else:
                 klass = obj.klass
                 assert isinstance(klass, InstanceKlass)
@@ -353,11 +355,16 @@ class JavaSerializer(Serializer):
                         child = yield obj
                         obj.set_element(index, child)
                 else:
+                    # Decode the whole element run, then commit it with one
+                    # bulk heap write; stream decode order and accounting
+                    # are unchanged.
+                    values = []
                     for index in range(length):
-                        obj.set_element(index, read_primitive(klass.element_kind))
+                        values.append(read_primitive(klass.element_kind))
                         profile.value_fields += 1
                         # Primitive array elements bypass reflection.
                         profile.add_instructions(_INSTR_PER_PRIMITIVE // 4)
+                    obj.set_elements(values)
             else:
                 if not isinstance(klass, InstanceKlass):
                     raise FormatError("TC_OBJECT with array class")

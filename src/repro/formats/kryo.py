@@ -127,8 +127,10 @@ class KryoSerializer(Serializer):
                         profile.add_instructions(_INSTR_PER_REFERENCE)
                         yield obj.get_element(index)
                 else:
-                    for index in range(obj.length):
-                        write_primitive(obj.klass.element_kind, obj.get_element(index))
+                    # One bulk heap read for the whole element storage.
+                    element_kind = obj.klass.element_kind
+                    for value in obj.get_elements():
+                        write_primitive(element_kind, value)
             else:
                 klass = obj.klass
                 assert isinstance(klass, InstanceKlass)
@@ -224,10 +226,13 @@ class KryoSerializer(Serializer):
                         child = yield obj
                         obj.set_element(index, child)
                 else:
+                    # Decode the run, then one bulk heap write.
+                    values = []
                     for index in range(length):
-                        obj.set_element(index, read_primitive(klass.element_kind))
+                        values.append(read_primitive(klass.element_kind))
                         profile.value_fields += 1
                         profile.add_instructions(_INSTR_PER_FIELD_DESER)
+                    obj.set_elements(values)
             else:
                 if not isinstance(klass, InstanceKlass):
                     raise FormatError("object marker with array class ID")

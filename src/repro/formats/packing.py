@@ -19,19 +19,21 @@ The same scheme packs both the reference array and the layout bitmaps
 (Section IV-B: "we apply this object packing scheme to both the layout
 bitmap and references"). Hardware cost: the SU's reference array writer and
 the DU's unpackers implement exactly these loops.
+
+**Implementation note (word-level fast path).** Items are processed as
+``(value, width)`` *words*, never as per-bit lists: one packed item is a
+shift, an or, and an ``int.to_bytes``; one unpacked item is an
+``int.from_bytes``, a trailing-zero count, and a shift. The original
+per-bit kernels survive verbatim in :mod:`repro.formats.slow_reference`
+as the equivalence oracle; both produce byte-identical streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
-from repro.common.bitutils import (
-    bits_to_bytes,
-    bytes_to_bits,
-    int_to_bits,
-    significant_bits,
-)
+from repro.common.bitstream import bits_to_word, trailing_zeros, word_to_bits
 from repro.common.errors import FormatError
 
 
@@ -48,52 +50,79 @@ class PackedArray:
         return len(self.data) + len(self.end_map)
 
 
-def _pack_bit_items(items: Sequence[Sequence[int]]) -> PackedArray:
-    """Pack pre-extracted significant-bit strings into buckets + end map."""
-    packed_bits: List[int] = []
-    end_positions: List[int] = []  # index of each item's final byte
-    for bits in items:
-        item_bits = list(bits) + [1]  # append the end bit
-        # Pad this item to a whole number of 1 B buckets.
-        padding = (-len(item_bits)) % 8
-        item_bits.extend([0] * padding)
-        packed_bits.extend(item_bits)
-        end_positions.append(len(packed_bits) // 8 - 1)
+# -- word-level kernels -----------------------------------------------------------------
 
-    data = bits_to_bytes(packed_bits)
-    end_map_bits = [0] * len(data)
+
+def pack_word_items(items: Sequence[Tuple[int, int]]) -> PackedArray:
+    """Pack ``(payload, width)`` words into buckets + end map.
+
+    Each item becomes ``width`` payload bits, the end bit, and tail zeros
+    to the next byte boundary — emitted as a single ``int.to_bytes`` call.
+    """
+    data = bytearray()
+    end_positions: List[int] = []
+    for value, width in items:
+        if width < 1:
+            raise ValueError(f"item width must be at least 1, got {width}")
+        if value < 0 or value.bit_length() > width:
+            raise ValueError(f"item value {value} does not fit in {width} bits")
+        nbits = width + 1  # payload + end bit
+        nbytes = (nbits + 7) >> 3
+        data += (((value << 1) | 1) << ((nbytes << 3) - nbits)).to_bytes(
+            nbytes, "big"
+        )
+        end_positions.append(len(data) - 1)
+
+    end_map = bytearray((len(data) + 7) >> 3)
     for position in end_positions:
-        end_map_bits[position] = 1
+        end_map[position >> 3] |= 0x80 >> (position & 7)
     return PackedArray(
-        data=data, end_map=bits_to_bytes(end_map_bits), item_count=len(items)
+        data=bytes(data), end_map=bytes(end_map), item_count=len(items)
     )
 
 
-def _unpack_bit_items(packed: PackedArray) -> List[List[int]]:
-    """Inverse of :func:`_pack_bit_items`: recover each item's bit payload."""
-    end_bits = bytes_to_bits(packed.end_map, bit_count=len(packed.data))
-    items: List[List[int]] = []
-    start_byte = 0
-    for index, is_end in enumerate(end_bits):
-        if not is_end:
-            continue
-        bucket_bits = bytes_to_bits(packed.data[start_byte : index + 1])
-        # The end bit is the last set bit; payload is everything before it.
-        last_one = -1
-        for position, bit in enumerate(bucket_bits):
-            if bit:
-                last_one = position
-        if last_one < 0:
+def _item_extents(packed: PackedArray) -> Iterator[Tuple[int, int]]:
+    """Yield each item's ``(first_byte, last_byte)`` extent from the end map."""
+    data_len = len(packed.data)
+    available = len(packed.end_map) * 8
+    if data_len > available:
+        # Same failure the per-bit kernel hits decoding a short end map.
+        raise ValueError(f"bit_count {data_len} exceeds available bits {available}")
+    end_word = int.from_bytes(packed.end_map, "big")
+    # Only the first ``data_len`` end-map bits are meaningful; bits in the
+    # end map's own tail padding are ignored, as in the per-bit kernel.
+    if data_len < available:
+        end_word >>= available - data_len
+    start = 0
+    while end_word:
+        msb = end_word.bit_length() - 1
+        position = data_len - 1 - msb  # set bits surface MSB-first = in order
+        yield (start, position)
+        start = position + 1
+        end_word &= (1 << msb) - 1
+
+
+def unpack_word_items(packed: PackedArray) -> List[Tuple[int, int]]:
+    """Inverse of :func:`pack_word_items`: recover ``(payload, width)`` words."""
+    items: List[Tuple[int, int]] = []
+    consumed = 0
+    for start, end in _item_extents(packed):
+        word = int.from_bytes(packed.data[start : end + 1], "big")
+        if word == 0:
             raise FormatError("packed item contains no end bit")
-        items.append(bucket_bits[:last_one])
-        start_byte = index + 1
+        # The end bit is the item's last set bit; everything above it is
+        # payload, everything below is byte-alignment padding.
+        pad = trailing_zeros(word)
+        width = (end + 1 - start) * 8 - pad - 1
+        items.append((word >> (pad + 1), width))
+        consumed = end + 1
     if len(items) != packed.item_count:
         raise FormatError(
             f"end map yields {len(items)} items, expected {packed.item_count}"
         )
-    if start_byte != len(packed.data):
+    if consumed != len(packed.data):
         raise FormatError(
-            f"{len(packed.data) - start_byte} trailing packed bytes after last item"
+            f"{len(packed.data) - consumed} trailing packed bytes after last item"
         )
     return items
 
@@ -102,39 +131,108 @@ def _unpack_bit_items(packed: PackedArray) -> List[List[int]]:
 
 
 def pack_items(values: Sequence[int]) -> PackedArray:
-    """Pack non-negative integers, keeping only significant bits (Figure 5a)."""
-    bit_items = [int_to_bits(value, significant_bits(value)) for value in values]
-    return _pack_bit_items(bit_items)
+    """Pack non-negative integers, keeping only significant bits (Figure 5a).
+
+    The loop body is :func:`pack_word_items` with the width derived inline
+    (significant bits) and the redundant fits-in-width check dropped —
+    this is the single hottest kernel in the encoder, so it earns the
+    hand-inlining.
+    """
+    data = bytearray()
+    end_positions: List[int] = []
+    append_end = end_positions.append
+    for value in values:
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        nbits = (value.bit_length() or 1) + 1  # payload + end bit
+        nbytes = (nbits + 7) >> 3
+        data += (((value << 1) | 1) << ((nbytes << 3) - nbits)).to_bytes(
+            nbytes, "big"
+        )
+        append_end(len(data) - 1)
+    end_map = bytearray((len(data) + 7) >> 3)
+    for position in end_positions:
+        end_map[position >> 3] |= 0x80 >> (position & 7)
+    return PackedArray(
+        data=bytes(data), end_map=bytes(end_map), item_count=len(values)
+    )
 
 
 def unpack_items(packed: PackedArray) -> List[int]:
-    """Inverse of :func:`pack_items`."""
+    """Inverse of :func:`pack_items` (hand-inlined hot path)."""
+    data = packed.data
+    data_len = len(data)
+    available = len(packed.end_map) * 8
+    if data_len > available:
+        raise ValueError(f"bit_count {data_len} exceeds available bits {available}")
+    end_word = int.from_bytes(packed.end_map, "big")
+    if data_len < available:
+        end_word >>= available - data_len
     out: List[int] = []
-    for bits in _unpack_bit_items(packed):
-        value = 0
-        for bit in bits:
-            value = (value << 1) | bit
-        out.append(value)
+    append = out.append
+    start = 0
+    while end_word:
+        msb = end_word.bit_length() - 1
+        end = data_len - 1 - msb
+        word = int.from_bytes(data[start : end + 1], "big")
+        if word == 0:
+            raise FormatError("packed item contains no end bit")
+        pad = (word & -word).bit_length() - 1
+        append(word >> (pad + 1))
+        start = end + 1
+        end_word &= (1 << msb) - 1
+    if len(out) != packed.item_count:
+        raise FormatError(
+            f"end map yields {len(out)} items, expected {packed.item_count}"
+        )
+    if start != data_len:
+        raise FormatError(
+            f"{data_len - start} trailing packed bytes after last item"
+        )
     return out
 
 
 # -- bitmap items (per-object layout bitmaps) ------------------------------------------
 
 
+def pack_bitmap_words(bitmaps: Sequence[Tuple[int, int]]) -> PackedArray:
+    """Pack layout bitmaps given as ``(bits_as_int, bit_length)`` words.
+
+    The full bit string is kept (its length encodes the object size),
+    terminated by the end bit like any other item. This is the fast path
+    the Cereal encoder feeds from the per-klass layout cache.
+    """
+    for value, width in bitmaps:
+        if width < 1:
+            raise FormatError("layout bitmap must be non-empty")
+        if value < 0 or value.bit_length() > width:
+            raise FormatError(
+                f"bitmap word {value} does not fit in {width} bits"
+            )
+    return pack_word_items(bitmaps)
+
+
+def unpack_bitmap_words(packed: PackedArray) -> List[Tuple[int, int]]:
+    """Inverse of :func:`pack_bitmap_words`."""
+    return unpack_word_items(packed)
+
+
 def pack_bitmaps(bitmaps: Sequence[Sequence[int]]) -> PackedArray:
-    """Pack layout bitmaps. The full bit string is kept (its length encodes
-    the object size), terminated by the end bit like any other item."""
+    """Pack layout bitmaps given as bit lists (compatibility surface)."""
+    words: List[Tuple[int, int]] = []
     for bitmap in bitmaps:
         if len(bitmap) == 0:
             raise FormatError("layout bitmap must be non-empty")
-        if any(bit not in (0, 1) for bit in bitmap):
-            raise FormatError("layout bitmap must contain only 0/1")
-    return _pack_bit_items([list(bitmap) for bitmap in bitmaps])
+        try:
+            words.append(bits_to_word(bitmap))
+        except ValueError:
+            raise FormatError("layout bitmap must contain only 0/1") from None
+    return pack_word_items(words)
 
 
 def unpack_bitmaps(packed: PackedArray) -> List[List[int]]:
     """Inverse of :func:`pack_bitmaps`."""
-    return _unpack_bit_items(packed)
+    return [word_to_bits(value, width) for value, width in unpack_word_items(packed)]
 
 
 # -- analytical helpers -----------------------------------------------------------------
@@ -143,7 +241,7 @@ def unpack_bitmaps(packed: PackedArray) -> List[List[int]]:
 def packed_size_bytes(values: Sequence[int]) -> int:
     """Total packed bytes (data + end map) for ``values`` without packing."""
     data_bytes = sum(
-        (significant_bits(value) + 1 + 7) // 8 for value in values
+        ((value.bit_length() or 1) + 1 + 7) // 8 for value in values
     )
     end_map_bytes = (data_bytes + 7) // 8
     return data_bytes + end_map_bytes

@@ -1,0 +1,109 @@
+"""The original per-bit packing kernels, kept as the correctness oracle.
+
+These are the bit-list implementations of the Section IV-B object packing
+scheme that shipped with the seed reproduction: every item is materialized
+as a Python ``List[int]`` of bits and processed one bit per interpreter
+iteration. They are deliberately *slow* — that is the point. The
+word-level fast path in :mod:`repro.formats.packing` must stay bit-exact
+against these kernels forever; ``tests/test_bitstream_equivalence.py``
+enforces it property-based, and ``benchmarks/bench_wallclock.py`` measures
+the fast path's speedup against them.
+
+Do not optimize this module. Its value is that it is obviously correct —
+a line-by-line transcription of the paper's Figure 5 description.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.bitutils import (
+    bits_to_bytes,
+    bytes_to_bits,
+    int_to_bits,
+    significant_bits,
+)
+from repro.common.errors import FormatError
+from repro.formats.packing import PackedArray
+
+
+def slow_pack_bit_items(items: Sequence[Sequence[int]]) -> PackedArray:
+    """Pack pre-extracted significant-bit strings into buckets + end map."""
+    packed_bits: List[int] = []
+    end_positions: List[int] = []  # index of each item's final byte
+    for bits in items:
+        item_bits = list(bits) + [1]  # append the end bit
+        # Pad this item to a whole number of 1 B buckets.
+        padding = (-len(item_bits)) % 8
+        item_bits.extend([0] * padding)
+        packed_bits.extend(item_bits)
+        end_positions.append(len(packed_bits) // 8 - 1)
+
+    data = bits_to_bytes(packed_bits)
+    end_map_bits = [0] * len(data)
+    for position in end_positions:
+        end_map_bits[position] = 1
+    return PackedArray(
+        data=data, end_map=bits_to_bytes(end_map_bits), item_count=len(items)
+    )
+
+
+def slow_unpack_bit_items(packed: PackedArray) -> List[List[int]]:
+    """Inverse of :func:`slow_pack_bit_items`: recover each item's payload."""
+    end_bits = bytes_to_bits(packed.end_map, bit_count=len(packed.data))
+    items: List[List[int]] = []
+    start_byte = 0
+    for index, is_end in enumerate(end_bits):
+        if not is_end:
+            continue
+        bucket_bits = bytes_to_bits(packed.data[start_byte : index + 1])
+        # The end bit is the last set bit; payload is everything before it.
+        last_one = -1
+        for position, bit in enumerate(bucket_bits):
+            if bit:
+                last_one = position
+        if last_one < 0:
+            raise FormatError("packed item contains no end bit")
+        items.append(bucket_bits[:last_one])
+        start_byte = index + 1
+    if len(items) != packed.item_count:
+        raise FormatError(
+            f"end map yields {len(items)} items, expected {packed.item_count}"
+        )
+    if start_byte != len(packed.data):
+        raise FormatError(
+            f"{len(packed.data) - start_byte} trailing packed bytes after last item"
+        )
+    return items
+
+
+def slow_pack_items(values: Sequence[int]) -> PackedArray:
+    """Per-bit reference packing (the seed's ``pack_items``)."""
+    bit_items = [int_to_bits(value, significant_bits(value)) for value in values]
+    return slow_pack_bit_items(bit_items)
+
+
+def slow_unpack_items(packed: PackedArray) -> List[int]:
+    """Per-bit inverse of :func:`slow_pack_items`."""
+    out: List[int] = []
+    for bits in slow_unpack_bit_items(packed):
+        value = 0
+        for bit in bits:
+            value = (value << 1) | bit
+        out.append(value)
+    return out
+
+
+def slow_pack_bitmaps(bitmaps: Sequence[Sequence[int]]) -> PackedArray:
+    """Per-bit layout-bitmap packing (the seed's ``pack_bitmaps``)."""
+    for bitmap in bitmaps:
+        if len(bitmap) == 0:
+            raise FormatError("layout bitmap must be non-empty")
+        if any(bit not in (0, 1) for bit in bitmap):
+            raise FormatError("layout bitmap must contain only 0/1")
+    return slow_pack_bit_items([list(bitmap) for bitmap in bitmaps])
+
+
+def slow_unpack_bitmaps(packed: PackedArray) -> List[List[int]]:
+    """Per-bit inverse of :func:`slow_pack_bitmaps`."""
+    return slow_unpack_bit_items(packed)

@@ -20,9 +20,11 @@ References are stored as absolute 64-bit heap addresses; ``0`` is null.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Union
+import struct
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.common.errors import HeapError
+from repro.jvm.layout_cache import KlassLayout, layout_of
 from repro.jvm.klass import (
     ArrayKlass,
     FieldKind,
@@ -45,6 +47,30 @@ _RELADDR_SHIFT = 24
 _RELADDR_MASK = 0xFFFF_FFFF
 
 FieldValue = Union[int, float, bool, "HeapObject", None]
+
+# struct codes matching the scalar element accessors bit-for-bit: reads are
+# sign-aware (BYTE/SHORT decode as two's complement), writes mask to the
+# stored width first, exactly like set_element.
+_ELEMENT_READ_CODES = {
+    FieldKind.BOOLEAN: "B",
+    FieldKind.BYTE: "b",
+    FieldKind.CHAR: "H",
+    FieldKind.SHORT: "h",
+    FieldKind.INT: "i",
+    FieldKind.FLOAT: "f",
+    FieldKind.LONG: "q",
+    FieldKind.DOUBLE: "d",
+}
+_ELEMENT_WRITE_CODES = {
+    FieldKind.BOOLEAN: "B",
+    FieldKind.BYTE: "B",
+    FieldKind.CHAR: "H",
+    FieldKind.SHORT: "H",
+    FieldKind.INT: "i",
+    FieldKind.FLOAT: "f",
+    FieldKind.LONG: "q",
+    FieldKind.DOUBLE: "d",
+}
 
 
 class Heap:
@@ -376,6 +402,62 @@ class HeapObject:
         """Address of a packed primitive element (natural-width storage)."""
         return self.fields_base + SLOT_BYTES + index * klass.element_width
 
+    def get_elements(self) -> List[FieldValue]:
+        """All array elements in index order, via one bulk memory read.
+
+        Value-equivalent to ``[self.get_element(i) for i in
+        range(self.length)]`` but costs one traced memory access and one
+        ``struct`` unpack for the whole array instead of a memory call per
+        element — the fast path under the serializers' primitive-array
+        loops.
+        """
+        klass = self._array_klass()
+        kind = klass.element_kind
+        if kind is FieldKind.REFERENCE:
+            return [self._read_slot(1 + i, kind) for i in range(self.length)]
+        if self.length == 0:
+            return []
+        raw = self.heap.memory.read(
+            self._element_address(klass, 0), self.length * klass.element_width
+        )
+        values = list(
+            struct.unpack(f"<{self.length}{_ELEMENT_READ_CODES[kind]}", raw)
+        )
+        if kind is FieldKind.BOOLEAN:
+            return [bool(value) for value in values]
+        return values
+
+    def set_elements(self, values: Sequence[FieldValue]) -> None:
+        """Write every array element via one bulk memory write."""
+        klass = self._array_klass()
+        if len(values) != self.length:
+            raise HeapError(
+                f"expected {self.length} elements, got {len(values)}"
+            )
+        kind = klass.element_kind
+        if kind is FieldKind.REFERENCE:
+            for index, value in enumerate(values):
+                self._write_slot(1 + index, kind, value)
+            return
+        if self.length == 0:
+            return
+        if kind is FieldKind.BOOLEAN:
+            raw_values = [1 if value else 0 for value in values]
+        elif kind is FieldKind.BYTE:
+            raw_values = [int(value) & 0xFF for value in values]  # type: ignore[arg-type]
+        elif kind in (FieldKind.CHAR, FieldKind.SHORT):
+            raw_values = [int(value) & 0xFFFF for value in values]  # type: ignore[arg-type]
+        elif kind in (FieldKind.FLOAT, FieldKind.DOUBLE):
+            raw_values = [float(value) for value in values]  # type: ignore[arg-type]
+        else:
+            raw_values = [int(value) for value in values]  # type: ignore[arg-type]
+        self.heap.memory.write(
+            self._element_address(klass, 0),
+            struct.pack(
+                f"<{self.length}{_ELEMENT_WRITE_CODES[kind]}", *raw_values
+            ),
+        )
+
     def get_element(self, index: int) -> FieldValue:
         klass = self._array_klass()
         if not 0 <= index < self.length:
@@ -430,9 +512,13 @@ class HeapObject:
 
     # -- reference enumeration (what serializers traverse) ------------------------------------
 
+    def layout(self) -> KlassLayout:
+        """The memoized :class:`KlassLayout` for this object's shape."""
+        return layout_of(self.klass, self.heap.header_slots, self.length)
+
     def reference_slots(self) -> List[int]:
         """Field-slot indices holding references (from the klass layout)."""
-        return self.klass.reference_slot_indices(self.length)
+        return list(self.layout().reference_slots)
 
     def referenced_objects(self) -> List[Optional["HeapObject"]]:
         """Children in slot order, ``None`` for null references."""
@@ -450,11 +536,16 @@ class HeapObject:
         A set bit marks a reference slot; header slots and value slots are
         zero. The object's size is recoverable as ``len(bitmap) * 8``.
         """
-        bitmap = [0] * self.total_slots
-        header_slots = self.heap.header_slots
-        for slot in self.reference_slots():
-            bitmap[header_slots + slot] = 1
-        return bitmap
+        return self.layout().bitmap_bits()
+
+    def layout_bitmap_word(self) -> "tuple[int, int]":
+        """The layout bitmap as an MSB-first ``(word, width)`` pair."""
+        layout = self.layout()
+        return layout.bitmap_word, layout.bitmap_width
+
+    def image_words(self) -> tuple:
+        """Every 8 B word of the object image (header included), bulk-read."""
+        return self.heap.memory.read_words(self.address, self.total_slots)
 
     def raw_bytes(self) -> bytes:
         """The object's raw memory image (header + all slots)."""

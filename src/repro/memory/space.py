@@ -18,6 +18,18 @@ from repro.common.errors import HeapError
 
 _PAGE_BYTES = 64 * 1024
 
+# Precompiled struct formats for the word-vector accessors; keyed by word
+# count so repeated bulk reads of same-shaped objects pay zero parse cost.
+_WORD_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def _word_struct(count: int) -> struct.Struct:
+    cached = _WORD_STRUCTS.get(count)
+    if cached is None:
+        cached = struct.Struct(f"<{count}Q")
+        _WORD_STRUCTS[count] = cached
+    return cached
+
 
 class MemorySpace:
     """Sparse little-endian memory with optional access tracing.
@@ -70,6 +82,13 @@ class MemorySpace:
         self._check_range(address, length)
         if self.trace is not None:
             self.trace.record_read(address, length)
+        page_index, offset = divmod(address, _PAGE_BYTES)
+        if offset + length <= _PAGE_BYTES:
+            # Fast path: the range lives in one page — a single slice.
+            page = self._pages.get(page_index)
+            if page is None:
+                return bytes(length)
+            return bytes(page[offset : offset + length])
         out = bytearray(length)
         copied = 0
         while copied < length:
@@ -87,8 +106,12 @@ class MemorySpace:
         self._check_range(address, len(data))
         if self.trace is not None:
             self.trace.record_write(address, len(data))
-        copied = 0
         length = len(data)
+        page_index, offset = divmod(address, _PAGE_BYTES)
+        if offset + length <= _PAGE_BYTES:
+            self._page(page_index)[offset : offset + length] = data
+            return
+        copied = 0
         while copied < length:
             addr = address + copied
             page_index, offset = divmod(addr, _PAGE_BYTES)
@@ -155,6 +178,20 @@ class MemorySpace:
         self.write(address, struct.pack("<f", value))
 
     # -- bulk helpers ----------------------------------------------------------
+
+    def read_words(self, address: int, count: int) -> tuple:
+        """Read ``count`` consecutive u64 words as one traced access.
+
+        The bulk equivalent of ``count`` calls to :meth:`read_u64`: one
+        bounds check, one trace record spanning the whole range, one
+        precompiled ``struct`` unpack. Hot paths (object-image walks) use
+        this so per-slot cost is a tuple index instead of a memory call.
+        """
+        return _word_struct(count).unpack(self.read(address, count * 8))
+
+    def write_words(self, address: int, words) -> None:
+        """Write consecutive u64 words as one traced access."""
+        self.write(address, _word_struct(len(words)).pack(*words))
 
     def copy(self, src: int, dst: int, length: int) -> None:
         """Memcpy within the space (reads then writes, both traced)."""

@@ -55,6 +55,7 @@ from repro.service.slo import (
     RequestRecord,
     SLOReport,
 )
+from repro.service.timing_cache import device_batch_cache
 from repro.service.workload import (
     KIND_SERIALIZE,
     ServiceCatalog,
@@ -119,6 +120,8 @@ class AcceleratorShard:
         dram_config: DRAMConfig,
     ):
         self.shard_id = shard_id
+        self._cereal_config = cereal_config
+        self._dram_config = dram_config
         self.accelerator = CerealAccelerator(
             cereal_config, dram_config, registration=catalog.registration
         )
@@ -192,8 +195,29 @@ class AcceleratorShard:
         execute back-to-back (``busy_until``); within a batch the full
         shared-channel contention model applies. Deserialize requests
         decode onto fresh heaps — functional correctness is inherent here.
+
+        Batch timelines are deterministic in the batch's composition (the
+        kinds and catalog entries it contains) and the device configs, so
+        repeated compositions replay the first verified execution's
+        timeline from an LRU instead of re-running the simulator.
         """
         start = max(now_ns, self.busy_until) + overhead_ns
+        cache_key = (
+            self._cereal_config,
+            self._dram_config,
+            batch.kind,
+            tuple(request.entry.stream_digest for request in batch.requests),
+        )
+        cached = device_batch_cache.get(cache_key)
+        if cached is not None:
+            wall_time_ns, relative_finishes = cached
+            self.busy_until = start + wall_time_ns
+            self.dispatched_batches += 1
+            self.dispatched_requests += batch.size
+            return [
+                (request, start + finish_ns)
+                for request, finish_ns in zip(batch.requests, relative_finishes)
+            ]
         device_requests = []
         for request in batch.requests:
             if request.kind == KIND_SERIALIZE:
@@ -215,6 +239,10 @@ class AcceleratorShard:
                     f"{request.entry.name!r} did not round-trip"
                 )
             finishes.append((request, start + op.finish_ns))
+        device_batch_cache.put(
+            cache_key,
+            (run.wall_time_ns, tuple(op.finish_ns for op in run.operations)),
+        )
         self.dispatched_batches += 1
         self.dispatched_requests += batch.size
         return finishes

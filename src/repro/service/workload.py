@@ -23,6 +23,7 @@ monotone by construction rather than by luck.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from hashlib import sha256
 from math import log
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.formats.base import SerializedStream
 from repro.formats.kryo import KryoSerializer
 from repro.formats.registry import ClassRegistration
 from repro.jvm.heap import Heap, HeapObject
+from repro.service.timing_cache import catalog_timing_cache
 from repro.workloads.datagen import DeterministicRandom
 from repro.workloads.micro import (
     MicrobenchConfig,
@@ -75,6 +77,14 @@ class CatalogEntry:
     stream: SerializedStream  # Cereal-format bytes (deserialize input)
     accel_timing: Dict[str, OperationTiming]
     software_ns: Dict[str, float]
+    #: Content identity of the payload (the Cereal stream identifies the
+    #: graph too — serialization is deterministic). Timing caches key on
+    #: this, never on the entry name alone.
+    stream_digest: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stream_digest:
+            self.stream_digest = sha256(self.stream.data).hexdigest()
 
     @property
     def graph_bytes(self) -> int:
@@ -137,28 +147,52 @@ class ServiceCatalog:
             self.accelerator.register_class(klass)
         self.software = SoftwarePlatform()
         self.fallback_serializer = KryoSerializer(self.registration)
+        # Catalog timings are a deterministic function of the build inputs
+        # (payload shapes + device configs), so identical catalogs — the
+        # common case across QPS/shard sweeps — reuse them via the LRU.
+        build_signature = tuple(size_classes)
         for size in size_classes:
             root = roots[size.name]
-            result, ser_timing, _ = self.accelerator.serialize(root)
-            receiver = Heap(registry=self.heap.registry)
-            _, de_timing, _ = self.accelerator.deserialize(result.stream, receiver)
-            _, soft_ser = self.software.run_serialize(self.fallback_serializer, root)
-            soft_heap = Heap(registry=self.heap.registry)
-            _, soft_de = self.software.run_deserialize(
-                self.accelerator.codec, result.stream, soft_heap
+            cache_key = (
+                build_signature,
+                size.name,
+                self.cereal_config,
+                self.dram_config,
             )
+            cached = catalog_timing_cache.get(cache_key)
+            if cached is not None:
+                stream, accel_timing, software_ns = cached
+            else:
+                result, ser_timing, _ = self.accelerator.serialize(root)
+                receiver = Heap(registry=self.heap.registry)
+                _, de_timing, _ = self.accelerator.deserialize(
+                    result.stream, receiver
+                )
+                _, soft_ser = self.software.run_serialize(
+                    self.fallback_serializer, root
+                )
+                soft_heap = Heap(registry=self.heap.registry)
+                _, soft_de = self.software.run_deserialize(
+                    self.accelerator.codec, result.stream, soft_heap
+                )
+                stream = result.stream
+                accel_timing = {
+                    KIND_SERIALIZE: ser_timing,
+                    KIND_DESERIALIZE: de_timing,
+                }
+                software_ns = {
+                    KIND_SERIALIZE: soft_ser.timing.time_ns,
+                    KIND_DESERIALIZE: soft_de.timing.time_ns,
+                }
+                catalog_timing_cache.put(
+                    cache_key, (stream, accel_timing, software_ns)
+                )
             self.entries[size.name] = CatalogEntry(
                 name=size.name,
                 root=root,
-                stream=result.stream,
-                accel_timing={
-                    KIND_SERIALIZE: ser_timing,
-                    KIND_DESERIALIZE: de_timing,
-                },
-                software_ns={
-                    KIND_SERIALIZE: soft_ser.timing.time_ns,
-                    KIND_DESERIALIZE: soft_de.timing.time_ns,
-                },
+                stream=stream,
+                accel_timing=dict(accel_timing),
+                software_ns=dict(software_ns),
             )
 
     @property

@@ -1,0 +1,220 @@
+"""Fast-path vs oracle equivalence for the integer-bitstream kernels.
+
+The word-level kernels in :mod:`repro.formats.packing` and the primitives
+in :mod:`repro.common.bitstream` replaced per-bit loops wholesale. The
+original loops survive verbatim in :mod:`repro.formats.slow_reference`;
+these tests assert the two implementations are *byte-identical* on random
+inputs in both directions, so the fast path can never silently change the
+serialized format. The heaviest oracle sweeps carry the ``perf`` marker
+(``-m "not perf"`` skips them).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitstream import (
+    BitReader,
+    BitWriter,
+    bits_to_word,
+    popcount_word,
+    trailing_zeros,
+    word_to_bits,
+)
+from repro.formats import packing
+from repro.formats import slow_reference as slow
+from repro.formats.cereal_format import CerealSerializer
+from repro.jvm import Heap
+
+from tests.test_format_stability import (
+    _golden_registry,
+    _make_serializer,
+    build_golden_graph,
+)
+
+values_strategy = st.lists(st.integers(min_value=0, max_value=2**60), max_size=120)
+bitmap_strategy = st.lists(
+    st.lists(st.integers(0, 1), min_size=1, max_size=90), max_size=60
+)
+
+
+class TestItemKernelEquivalence:
+    @given(values_strategy)
+    def test_pack_items_byte_identical(self, values):
+        fast = packing.pack_items(values)
+        oracle = slow.slow_pack_items(values)
+        assert fast.data == oracle.data
+        assert fast.end_map == oracle.end_map
+        assert fast.item_count == oracle.item_count
+
+    @given(values_strategy)
+    def test_unpack_agrees_on_oracle_streams(self, values):
+        packed = slow.slow_pack_items(values)
+        assert packing.unpack_items(packed) == slow.slow_unpack_items(packed)
+
+    @given(values_strategy)
+    def test_cross_implementation_round_trips(self, values):
+        assert packing.unpack_items(slow.slow_pack_items(values)) == values
+        assert slow.slow_unpack_items(packing.pack_items(values)) == values
+
+    def test_corrupt_stream_same_error(self):
+        packed = packing.PackedArray(
+            data=b"\x00", end_map=b"\x80", item_count=1
+        )
+        with pytest.raises(Exception) as fast_err:
+            packing.unpack_items(packed)
+        with pytest.raises(Exception) as slow_err:
+            slow.slow_unpack_items(packed)
+        assert str(fast_err.value) == str(slow_err.value)
+
+    def test_short_end_map_same_error(self):
+        packed = packing.PackedArray(
+            data=bytes(16), end_map=b"\x00", item_count=1
+        )
+        with pytest.raises(ValueError) as fast_err:
+            packing.unpack_items(packed)
+        with pytest.raises(ValueError) as slow_err:
+            slow.slow_unpack_items(packed)
+        assert str(fast_err.value) == str(slow_err.value)
+
+
+class TestBitmapKernelEquivalence:
+    @given(bitmap_strategy)
+    def test_pack_bitmaps_byte_identical(self, bitmaps):
+        fast = packing.pack_bitmaps(bitmaps)
+        oracle = slow.slow_pack_bitmaps(bitmaps)
+        assert fast.data == oracle.data
+        assert fast.end_map == oracle.end_map
+
+    @given(bitmap_strategy)
+    def test_unpack_bitmaps_agrees(self, bitmaps):
+        packed = slow.slow_pack_bitmaps(bitmaps)
+        assert packing.unpack_bitmaps(packed) == slow.slow_unpack_bitmaps(packed)
+        assert packing.unpack_bitmaps(packed) == [list(b) for b in bitmaps]
+
+    @given(bitmap_strategy)
+    def test_word_form_matches_bit_form(self, bitmaps):
+        words = [bits_to_word(b) for b in bitmaps]
+        from_words = packing.pack_bitmap_words(words)
+        from_bits = packing.pack_bitmaps(bitmaps)
+        assert from_words.data == from_bits.data
+        assert from_words.end_map == from_bits.end_map
+        assert packing.unpack_bitmap_words(from_words) == words
+
+
+class TestBitstreamPrimitives:
+    @given(st.integers(min_value=0, max_value=2**80))
+    def test_popcount_matches_bin_count(self, value):
+        assert popcount_word(value) == bin(value).count("1")
+
+    @given(st.integers(min_value=1, max_value=2**80))
+    def test_trailing_zeros_definition(self, value):
+        tz = trailing_zeros(value)
+        assert value % (1 << tz) == 0
+        assert (value >> tz) & 1 == 1
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+    def test_word_bits_round_trip(self, bits):
+        value, width = bits_to_word(bits)
+        assert width == len(bits)
+        assert word_to_bits(value, width) == list(bits)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=64).flatmap(
+                    lambda w: st.tuples(
+                        st.integers(min_value=0, max_value=(1 << w) - 1),
+                        st.just(w),
+                    )
+                )
+            ).map(lambda t: t[0]),
+            max_size=80,
+        )
+    )
+    def test_bitwriter_bitreader_round_trip(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write_bits(value, width)
+        payload = writer.getvalue()
+        reader = BitReader(payload)
+        for value, width in fields:
+            assert reader.read_bits(width) == value
+
+
+class TestFormatByteIdentity:
+    """The rewritten encoders must keep emitting deterministic bytes."""
+
+    @pytest.mark.parametrize("kind", ["java", "kryo", "skyway", "cereal"])
+    def test_repeat_serialize_identical(self, kind):
+        registry = _golden_registry()
+        heap = Heap(registry=registry)
+        root = build_golden_graph(heap)
+        serializer = _make_serializer(kind, registry)
+        first = serializer.serialize(root).stream.data
+        second = serializer.serialize(root).stream.data
+        assert first == second
+
+    def test_layout_cache_cold_vs_warm_identical(self):
+        from repro.jvm.layout_cache import clear_layout_cache
+
+        def encode():
+            registry = _golden_registry()
+            heap = Heap(registry=registry)
+            root = build_golden_graph(heap)
+            return _make_serializer("cereal", registry).serialize(root).stream.data
+
+        clear_layout_cache()
+        cold = encode()
+        warm = encode()  # second build hits the memoized layouts
+        assert cold == warm
+
+    def test_packed_and_baseline_bitmaps_decode_alike(self):
+        registry = _golden_registry()
+        heap = Heap(registry=registry)
+        root = build_golden_graph(heap)
+        registration_klasses = list(registry)
+        from repro.formats import ClassRegistration, graphs_equivalent
+
+        for pack_layouts in (False, True):
+            registration = ClassRegistration()
+            for klass in registration_klasses:
+                registration.register(klass)
+            serializer = CerealSerializer(registration, use_packing=pack_layouts)
+            rebuilt = serializer.round_trip(root, Heap(registry=registry))
+            assert graphs_equivalent(root, rebuilt)
+
+
+@pytest.mark.perf
+class TestOracleSweeps:
+    """Large deterministic sweeps against the per-bit oracle (slow)."""
+
+    def test_wide_value_sweep(self):
+        values = [(1 << (i % 61)) + i for i in range(4000)]
+        fast = packing.pack_items(values)
+        oracle = slow.slow_pack_items(values)
+        assert fast.data == oracle.data
+        assert fast.end_map == oracle.end_map
+        assert packing.unpack_items(fast) == values
+        assert slow.slow_unpack_items(fast) == values
+
+    def test_wide_bitmap_sweep(self):
+        bitmaps = [
+            [(i >> (j % 13)) & 1 for j in range(1 + (i % 77))]
+            for i in range(1500)
+        ]
+        fast = packing.pack_bitmaps(bitmaps)
+        oracle = slow.slow_pack_bitmaps(bitmaps)
+        assert fast.data == oracle.data
+        assert fast.end_map == oracle.end_map
+        assert packing.unpack_bitmaps(fast) == bitmaps
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**200), max_size=50)
+    )
+    def test_huge_values_round_trip(self, values):
+        fast = packing.pack_items(values)
+        oracle = slow.slow_pack_items(values)
+        assert fast.data == oracle.data
+        assert packing.unpack_items(fast) == values

@@ -19,6 +19,12 @@ from repro.formats import (
     KryoSerializer,
     SkywaySerializer,
 )
+from repro.formats.packing import (
+    pack_bitmaps,
+    pack_items,
+    unpack_bitmaps,
+    unpack_items,
+)
 from repro.jvm import (
     FieldDescriptor,
     FieldKind,
@@ -130,6 +136,30 @@ class TestStreamStability:
     @pytest.mark.parametrize("kind", sorted(GOLDEN_SHA256))
     def test_two_builds_identical(self, kind):
         assert _stream_hash(kind) == _stream_hash(kind)
+
+
+class TestPackingGoldenVectors:
+    """Exact packed bytes for the Section IV-B kernels, pinned at 1.0.0.
+
+    These anchor the word-level fast path at the byte level, independent of
+    the slow-reference oracle: if both implementations drifted together,
+    the hashes above could still pass while the format silently changed.
+    """
+
+    GOLDEN_VALUES = [0, 1, 5, 127, 128, 0x1234, 2**20, 2**33 - 1]
+    GOLDEN_BITMAPS = [[1], [1, 0, 1], [0] * 7 + [1], [1] * 12]
+
+    def test_item_bytes_pinned(self):
+        packed = pack_items(self.GOLDEN_VALUES)
+        assert packed.data.hex() == "40c0b0ff808091a4800004ffffffffc0"
+        assert packed.end_map.hex() == "f521"
+        assert unpack_items(packed) == self.GOLDEN_VALUES
+
+    def test_bitmap_bytes_pinned(self):
+        packed = pack_bitmaps(self.GOLDEN_BITMAPS)
+        assert packed.data.hex() == "c0b00180fff8"
+        assert packed.end_map.hex() == "d4"
+        assert unpack_bitmaps(packed) == self.GOLDEN_BITMAPS
 
 
 class TestStringsHelper:
