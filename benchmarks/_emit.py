@@ -11,11 +11,19 @@ benches:
       "bench": "<name>",
       "meta": {...seed, grid, calibration...},
       "results": {...bench-specific payload...},
+      "runtime": {...plan/layout cache and buffer pool counters...},  # optional
       "checks": {"<check>": {"ok": bool, "detail": "..."}, ...}   # optional
     }
 
+The optional ``runtime`` block is the shared shape for process-wide
+serialization-cache health (:func:`runtime_snapshot`): compiled-plan cache
+hit rate, layout cache hit rate, and the output buffer pool's high-water
+mark. ``bench_wallclock.py`` and ``bench_service_scaling.py`` both emit
+it so cache behaviour can be diffed across commits alongside throughput.
+
 Keys are sorted and no wall-clock timestamps are embedded, so a seeded
-bench emits byte-identical JSON run-to-run.
+bench emits byte-identical JSON run-to-run (cache counters are excluded
+from that guarantee — they reflect whatever ran in the process first).
 """
 
 from __future__ import annotations
@@ -25,6 +33,24 @@ import os
 from typing import Dict, Optional
 
 SCHEMA_VERSION = 1
+
+
+def runtime_snapshot() -> Dict:
+    """Snapshot the process-wide serialization caches in the shared shape."""
+    from repro.common.bufpool import pool_stats
+    from repro.formats.plans import plan_cache_stats
+    from repro.jvm import layout_cache
+
+    pool = pool_stats()
+    plan = plan_cache_stats()
+    layout = layout_cache.stats()
+    return {
+        "plan_cache": plan,
+        "plan_cache_hit_rate": plan["hit_rate"],
+        "layout_cache": layout,
+        "arena_high_water_mark_bytes": pool["high_water_mark_bytes"],
+        "buffer_pool": pool,
+    }
 
 
 def bench_json_path(results_dir: str, name: str) -> str:
@@ -37,6 +63,7 @@ def emit_json(
     results: Dict,
     meta: Optional[Dict] = None,
     checks: Optional[Dict] = None,
+    runtime: Optional[Dict] = None,
 ) -> str:
     """Write ``BENCH_<name>.json``; returns the path."""
     if not results:
@@ -47,6 +74,8 @@ def emit_json(
         "meta": meta or {},
         "results": results,
     }
+    if runtime is not None:
+        document["runtime"] = runtime
     if checks is not None:
         document["checks"] = checks
     os.makedirs(results_dir, exist_ok=True)

@@ -39,7 +39,7 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_service_scaling.py`
     )
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _emit import emit_json  # noqa: E402
+from _emit import emit_json, runtime_snapshot  # noqa: E402
 from repro.analysis import ReportTable  # noqa: E402
 from repro.faults import FaultInjector, FaultPolicy  # noqa: E402
 from repro.service import (  # noqa: E402
@@ -277,6 +277,7 @@ def _emit(payload: Dict, table: ReportTable, results_dir: str) -> Dict[str, Dict
         payload["results"],
         meta=payload["meta"],
         checks=checks,
+        runtime=runtime_snapshot(),
     )
     return checks
 

@@ -11,7 +11,11 @@ fast path rewrote:
    identical; the speedup is the tentpole metric and must stay >= 3x.
 2. **Format codecs** — encode/decode MB/s and objects/s for all four
    serializers over a seeded microbenchmark graph.
-3. **Service layer** — simulated-nanoseconds advanced per wall-clock
+3. **Compiled plans** — plan-on vs plan-off serialize/deserialize for the
+   java/kryo/cereal codecs on a cache-warm workload, asserted
+   byte-identical; the gated serialize speedups must stay >= 2x, and the
+   plan-cache hit rate must show the cache actually warming.
+4. **Service layer** — simulated-nanoseconds advanced per wall-clock
    second by the analytic event-loop server.
 
 Gating policy: absolute MB/s depends on the host, so CI gates only on
@@ -44,7 +48,8 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_wallclock.py`
     )
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _emit import emit_json  # noqa: E402
+from _emit import emit_json, runtime_snapshot  # noqa: E402
+from repro.common.bufpool import pool_stats, reset_pool  # noqa: E402
 from repro.formats import (  # noqa: E402
     CerealSerializer,
     ClassRegistration,
@@ -54,6 +59,7 @@ from repro.formats import (  # noqa: E402
     graphs_equivalent,
 )
 from repro.formats import packing  # noqa: E402
+from repro.formats import plans  # noqa: E402
 from repro.formats import slow_reference as slow  # noqa: E402
 from repro.jvm import Heap  # noqa: E402
 from repro.service import (  # noqa: E402
@@ -67,6 +73,8 @@ from repro.workloads.micro import MicrobenchConfig, build_tree_bench  # noqa: E4
 
 _SEED = 0xB175
 _SPEEDUP_FLOOR = 3.0  # tentpole: fast packing round trip must stay >= 3x
+_PLAN_SPEEDUP_FLOOR = 2.0  # compiled-plan serialize must stay >= 2x where gated
+_PLAN_GATED_FORMATS = ("java", "kryo")  # cereal's interpreter is already bulk
 _REGRESSION_TOLERANCE = 0.20  # ratios may drift 20% below baseline, no more
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
@@ -211,6 +219,65 @@ def bench_formats(smoke: bool) -> Dict[str, Dict[str, float]]:
     return out
 
 
+# ---------------------------------------------------------------- compiled plans
+
+
+def bench_plans(smoke: bool) -> Dict[str, object]:
+    """Plan-on vs plan-off codec throughput on a cache-warm micro workload.
+
+    Byte identity between the two paths is asserted per format before any
+    timing; the serialize speedups for the gated formats are the headline
+    metric of the plan compiler and must stay >= 2x.
+    """
+    heap, root, registration = _build_payload(smoke)
+    plans.reset_plan_cache()
+    reset_pool()
+    pairs = {
+        "java": (JavaSerializer(), JavaSerializer(use_plans=False)),
+        "kryo": (
+            KryoSerializer(registration),
+            KryoSerializer(registration, use_plans=False),
+        ),
+        "cereal": (
+            CerealSerializer(registration),
+            CerealSerializer(registration, use_plans=False),
+        ),
+    }
+    repeats = 3 if smoke else 5
+    formats: Dict[str, Dict[str, float]] = {}
+    byte_identical = True
+    for name, (planned, interp) in pairs.items():
+        stream = planned.serialize(root).stream  # compiles + warms the plans
+        byte_identical = byte_identical and (
+            stream.data == interp.serialize(root).stream.data
+        )
+        plan_ser_s = _best_of(lambda: planned.serialize(root), repeats)
+        interp_ser_s = _best_of(lambda: interp.serialize(root), repeats)
+        plan_de_s = _best_of(
+            lambda: planned.deserialize(stream, Heap(registry=heap.registry)),
+            repeats,
+        )
+        interp_de_s = _best_of(
+            lambda: interp.deserialize(stream, Heap(registry=heap.registry)),
+            repeats,
+        )
+        mb = stream.size_bytes / 1e6
+        formats[name] = {
+            "serialize_speedup": _round(interp_ser_s / plan_ser_s),
+            "deserialize_speedup": _round(interp_de_s / plan_de_s),
+            "plan_on_serialize_mb_per_sec": _round(mb / plan_ser_s),
+            "plan_off_serialize_mb_per_sec": _round(mb / interp_ser_s),
+            "plan_on_deserialize_mb_per_sec": _round(mb / plan_de_s),
+            "plan_off_deserialize_mb_per_sec": _round(mb / interp_de_s),
+        }
+    return {
+        "byte_identical": byte_identical,
+        "formats": formats,
+        "plan_cache": plans.plan_cache_stats(),
+        "buffer_pool": pool_stats(),
+    }
+
+
 # ---------------------------------------------------------------- service layer
 
 
@@ -242,15 +309,26 @@ def bench_service(smoke: bool) -> Dict[str, float]:
 # ---------------------------------------------------------------- gates
 
 
-def load_baseline() -> Optional[Dict[str, float]]:
+def load_baseline() -> Dict[str, Dict[str, float]]:
+    """The per-mode ratio baselines: ``{"full": {...}, "smoke": {...}}``.
+
+    Smoke inputs are small enough that per-call fixed overheads shift the
+    ratios, so each mode gates against a baseline recorded in that mode.
+    A legacy flat file (metrics at top level) is treated as full-mode.
+    """
     if not os.path.exists(_BASELINE_PATH):
-        return None
+        return {}
     with open(_BASELINE_PATH, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+        document = json.load(handle)
+    if "packing_speedup" in document:  # legacy flat format
+        return {"full": document}
+    return document
 
 
 def evaluate_checks(
-    packing_results: Dict[str, object], baseline: Optional[Dict[str, float]]
+    packing_results: Dict[str, object],
+    plan_results: Dict[str, object],
+    baseline: Optional[Dict[str, float]],
 ) -> Dict[str, Dict[str, object]]:
     checks: Dict[str, Dict[str, object]] = {}
     checks["packing_byte_identical"] = {
@@ -262,6 +340,31 @@ def evaluate_checks(
         "ok": speedup >= _SPEEDUP_FLOOR,
         "detail": f"round-trip speedup {speedup:.2f}x vs floor {_SPEEDUP_FLOOR}x",
     }
+    checks["plans_byte_identical"] = {
+        "ok": bool(plan_results["byte_identical"]),
+        "detail": "compiled plans emit the interpreter's exact bytes",
+    }
+    plan_formats = plan_results["formats"]  # type: ignore[assignment]
+    gated = {
+        name: float(plan_formats[name]["serialize_speedup"])
+        for name in _PLAN_GATED_FORMATS
+    }
+    checks["plan_serialize_speedup_floor"] = {
+        "ok": all(v >= _PLAN_SPEEDUP_FLOOR for v in gated.values()),
+        "detail": ", ".join(
+            f"{name} {v:.2f}x" for name, v in sorted(gated.items())
+        ) + f" vs floor {_PLAN_SPEEDUP_FLOOR}x",
+    }
+    cache = plan_results["plan_cache"]  # type: ignore[assignment]
+    hit_rate = float(cache["hit_rate"])
+    checks["plan_cache_warm"] = {
+        "ok": hit_rate >= 0.8 and cache["entries"] > 0,
+        "detail": (
+            f"plan cache hit rate {hit_rate:.1%} over "
+            f"{cache['hits'] + cache['misses']} probes, "
+            f"{cache['entries']} entries"
+        ),
+    }
     if baseline is None:
         checks["baseline_regression"] = {
             "ok": True,
@@ -269,11 +372,16 @@ def evaluate_checks(
         }
         return checks
     failures = []
-    for metric in ("packing_speedup", "bitmap_speedup"):
+    measurements: Dict[str, float] = {
+        "packing_speedup": float(packing_results["packing_speedup"]),  # type: ignore[arg-type]
+        "bitmap_speedup": float(packing_results["bitmap_speedup"]),  # type: ignore[arg-type]
+    }
+    for name in _PLAN_GATED_FORMATS:
+        measurements[f"plan_serialize_speedup_{name}"] = gated[name]
+    for metric, measured in measurements.items():
         reference = baseline.get(metric)
         if reference is None:
             continue
-        measured = float(packing_results[metric])  # type: ignore[arg-type]
         floor = reference * (1.0 - _REGRESSION_TOLERANCE)
         if measured < floor:
             failures.append(
@@ -295,18 +403,29 @@ def evaluate_checks(
 def run(smoke: bool = False, update_baseline: bool = False) -> bool:
     packing_results = bench_packing(smoke)
     format_results = bench_formats(smoke)
+    plan_results = bench_plans(smoke)
     service_results = bench_service(smoke)
 
+    plan_formats = plan_results["formats"]
+    mode = "smoke" if smoke else "full"
     if update_baseline:
+        document = load_baseline()
         baseline = {
             "packing_speedup": packing_results["packing_speedup"],
             "bitmap_speedup": packing_results["bitmap_speedup"],
         }
+        for name in _PLAN_GATED_FORMATS:
+            baseline[f"plan_serialize_speedup_{name}"] = plan_formats[name][
+                "serialize_speedup"
+            ]
+        document[mode] = baseline
         with open(_BASELINE_PATH, "w", encoding="utf-8") as handle:
-            json.dump(baseline, handle, indent=2, sort_keys=True)
+            json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"baseline updated: {_BASELINE_PATH}")
-    checks = evaluate_checks(packing_results, load_baseline())
+        print(f"baseline updated ({mode}): {_BASELINE_PATH}")
+    checks = evaluate_checks(
+        packing_results, plan_results, load_baseline().get(mode)
+    )
 
     emit_json(
         _RESULTS_DIR,
@@ -314,6 +433,7 @@ def run(smoke: bool = False, update_baseline: bool = False) -> bool:
         results={
             "packing": packing_results,
             "formats": format_results,
+            "plans": plan_results,
             "service": service_results,
         },
         meta={
@@ -325,6 +445,7 @@ def run(smoke: bool = False, update_baseline: bool = False) -> bool:
             ),
         },
         checks=checks,
+        runtime=runtime_snapshot(),
     )
 
     print("wallclock bench")
@@ -339,6 +460,19 @@ def run(smoke: bool = False, update_baseline: bool = False) -> bool:
             f"de {metrics['deserialize_mb_per_sec']:>8} MB/s  "
             f"({metrics['serialize_objects_per_sec']} obj/s)"
         )
+    cache = plan_results["plan_cache"]
+    for name, metrics in sorted(plan_formats.items()):
+        print(
+            f"  plans:{name:7s} ser {metrics['serialize_speedup']:>5}x "
+            f"({metrics['plan_off_serialize_mb_per_sec']} -> "
+            f"{metrics['plan_on_serialize_mb_per_sec']} MB/s)  "
+            f"de {metrics['deserialize_speedup']:>5}x"
+        )
+    print(
+        f"  plan cache: {cache['hit_rate']:.1%} hit rate, "
+        f"{cache['entries']} entries; arena high water "
+        f"{plan_results['buffer_pool']['high_water_mark_bytes']} B"
+    )
     print(
         f"  service: {service_results['sim_seconds_per_wall_second']} "
         f"sim-sec/wall-sec over {service_results['requests']} requests"

@@ -1,0 +1,108 @@
+"""Reusable byte-buffer arenas for the serialization hot paths.
+
+Every serialize call in the seed allocated a fresh ``bytearray`` (inside
+:class:`~repro.formats.streams.StreamWriter`) and grew it byte-append by
+byte-append; the plan kernels in :mod:`repro.formats.plans` additionally
+need scratch output buffers per call. Allocating and growing those
+buffers from zero on every operation is pure allocator churn: the buffer
+reaches roughly the same size every time a payload shape repeats, which
+is exactly the serving-layer steady state (the same catalog entries
+serialized over and over).
+
+A :class:`BufferPool` keeps a small free list of already-grown
+``bytearray`` arenas. ``acquire()`` hands one back cleared but with its
+*capacity* retained (CPython keeps the allocation when a bytearray is
+cleared in-place with ``del buf[:]``), so a warm pool serves every
+subsequent serialize without touching the allocator. ``release()``
+returns the arena and records the high-water mark — the largest buffer
+the process ever filled — which the benchmarks surface next to the
+plan-cache hit rate.
+
+The process-wide pool is deliberately tiny (a handful of arenas): one
+serialize is single-threaded and the service layer runs operations
+back-to-back, so deep pools only pin memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class BufferPool:
+    """A bounded free list of reusable ``bytearray`` arenas with stats."""
+
+    def __init__(self, max_arenas: int = 8):
+        if max_arenas <= 0:
+            raise ValueError(f"max_arenas must be positive, got {max_arenas}")
+        self.max_arenas = max_arenas
+        self._free: List[bytearray] = []
+        self.acquires = 0
+        self.reuses = 0
+        self.releases = 0
+        self.high_water_mark = 0  # largest buffer length seen at release
+
+    def acquire(self) -> bytearray:
+        """A cleared arena; reuses a pooled one when available."""
+        self.acquires += 1
+        if self._free:
+            self.reuses += 1
+            arena = self._free.pop()
+            del arena[:]  # clear contents, keep the grown allocation
+            return arena
+        return bytearray()
+
+    def release(self, arena: bytearray) -> None:
+        """Return ``arena`` to the pool (dropped if the pool is full)."""
+        self.releases += 1
+        if len(arena) > self.high_water_mark:
+            self.high_water_mark = len(arena)
+        if len(self._free) < self.max_arenas:
+            self._free.append(arena)
+
+    @property
+    def reuse_rate(self) -> float:
+        if self.acquires == 0:
+            return 0.0
+        return self.reuses / self.acquires
+
+    def stats(self) -> Dict[str, object]:
+        """Machine-readable snapshot for benchmarks and SLO reports."""
+        return {
+            "acquires": self.acquires,
+            "reuses": self.reuses,
+            "releases": self.releases,
+            "reuse_rate": round(self.reuse_rate, 4),
+            "high_water_mark_bytes": self.high_water_mark,
+            "pooled_arenas": len(self._free),
+        }
+
+    def reset(self) -> None:
+        """Drop pooled arenas and zero the counters (tests)."""
+        self._free.clear()
+        self.acquires = 0
+        self.reuses = 0
+        self.releases = 0
+        self.high_water_mark = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
+#: The process-wide pool every serializer and plan kernel shares.
+GLOBAL_POOL = BufferPool()
+
+
+def acquire_buffer() -> bytearray:
+    return GLOBAL_POOL.acquire()
+
+
+def release_buffer(arena: bytearray) -> None:
+    GLOBAL_POOL.release(arena)
+
+
+def pool_stats() -> Dict[str, object]:
+    return GLOBAL_POOL.stats()
+
+
+def reset_pool() -> None:
+    GLOBAL_POOL.reset()

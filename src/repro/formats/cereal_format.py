@@ -36,6 +36,7 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.common.bufpool import acquire_buffer, release_buffer
 from repro.common.errors import FormatError, RegistrationError
 from repro.formats.base import (
     DeserializationResult,
@@ -46,6 +47,7 @@ from repro.formats.base import (
 )
 from repro.common.bitstream import bits_to_word, word_to_bits
 from repro.common.bitutils import bytes_to_bits
+from repro.formats import plans as P
 from repro.formats.packing import (
     PackedArray,
     pack_bitmap_words,
@@ -55,7 +57,7 @@ from repro.formats.packing import (
 )
 from repro.jvm.layout_cache import layout_of
 from repro.formats.registry import ClassRegistration
-from repro.jvm.graph import ObjectGraph
+from repro.jvm.graph import ObjectGraph, SlotRunGraph
 from repro.jvm.heap import Heap, HeapObject, NULL_ADDRESS
 from repro.jvm.klass import ArrayKlass, SLOT_BYTES
 from repro.jvm.markword import MarkWord, identity_hash_for
@@ -149,6 +151,7 @@ class CerealSerializer(Serializer):
         max_class_types: int = 4096,
         strip_mark_word: bool = False,
         use_packing: bool = True,
+        use_plans: bool = True,
     ):
         if registration is None:
             registration = ClassRegistration(max_entries=max_class_types)
@@ -157,6 +160,9 @@ class CerealSerializer(Serializer):
         # use_packing=False emits the Section IV-A baseline format: raw
         # 8 B reference offsets and an 8 B length word per layout bitmap.
         self.use_packing = use_packing
+        # use_plans=True routes hot paths through compiled per-shape plans
+        # (repro.formats.plans); streams are byte-identical either way.
+        self.use_plans = use_plans
 
     def register_class(self, klass) -> int:
         """The paper's ``RegisterClass(Class Type)`` API."""
@@ -165,6 +171,8 @@ class CerealSerializer(Serializer):
     # ------------------------------------------------------------------ serialize
 
     def serialize(self, root: HeapObject) -> SerializationResult:
+        if self.use_plans:
+            return self._serialize_planned(root)
         graph = ObjectGraph.from_root(root, order="bfs")
         profile = WorkProfile()
         heap = root.heap
@@ -209,11 +217,107 @@ class CerealSerializer(Serializer):
                     profile.value_fields += 1
                     value_words.append(raw)
 
+        return self._assemble_stream(
+            value_words,
+            reference_values,
+            bitmap_words,
+            graph.total_bytes,
+            graph.object_count,
+            profile,
+        )
+
+    def _serialize_planned(self, root: HeapObject) -> SerializationResult:
+        """Plan-path serialize: per-shape gather lists over bulk word reads.
+
+        Each distinct ``(klass, length)`` shape compiles once (process-wide
+        cache) into precomputed value/reference word-index tuples, so the
+        per-object work is two index-gather loops instead of a per-slot
+        bitmap classification. Streams and profiles are identical to the
+        interpreter path.
+        """
+        graph = SlotRunGraph.from_root(root, order="bfs")
+        profile = WorkProfile()
+        heap = root.heap
+        read_words = heap.memory.read_words
+        header_slots = heap.header_slots
+        registration = self.registration
+        relative_address = graph.relative_address
+        strip_mark = self.strip_mark_word
+        extension = [0] * (header_slots - 2)  # zeroed Cereal extension words
+
+        value_words: List[int] = []
+        reference_values: List[int] = []
+        bitmap_words: List[tuple] = []
+        append_value = value_words.append
+        extend_values = value_words.extend
+        append_ref = reference_values.append
+        # Per-call memo over the process-wide cache: one probe per shape.
+        plans: dict = {}
+        class_ids: dict = {}
+
+        for obj in graph.objects:
+            klass = obj.klass
+            shape = (klass, obj.length)
+            plan = plans.get(shape)
+            if plan is None:
+                if not registration.is_registered(klass):
+                    raise RegistrationError(
+                        f"class {klass.name!r} not registered with Cereal; "
+                        f"call register_class() first"
+                    )
+                plan = P.plan_for("cereal", klass, header_slots, obj.length)
+                plans[shape] = plan
+                class_ids[shape] = registration.id_of(klass)
+            profile.objects += 1
+            profile.add_instructions(plan.instr)
+            bitmap_words.append((plan.bitmap_word, plan.bitmap_width))
+            words = read_words(obj.address, plan.total_slots)
+
+            if not strip_mark:
+                append_value(words[_MARK_SLOT])
+            append_value(class_ids[shape])
+            if extension:
+                extend_values(extension)
+            for index in plan.value_word_indices:
+                append_value(words[index])
+            for index in plan.ref_word_indices:
+                raw = words[index]
+                if raw == NULL_ADDRESS:
+                    append_ref(0)
+                else:
+                    append_ref(relative_address[raw] + 1)
+            profile.value_fields += plan.n_value
+            profile.reference_fields += plan.n_ref
+
+        return self._assemble_stream(
+            value_words,
+            reference_values,
+            bitmap_words,
+            graph.total_bytes,
+            graph.object_count,
+            profile,
+        )
+
+    def _assemble_stream(
+        self,
+        value_words: List[int],
+        reference_values: List[int],
+        bitmap_words: List[tuple],
+        graph_total_bytes: int,
+        object_count: int,
+        profile: WorkProfile,
+    ) -> SerializationResult:
+        """Frame the three gathered structures into the output stream.
+
+        Shared by the interpreter and plan serialize paths so the byte
+        format stays single-source. Output bytes accumulate in a pooled
+        arena instead of a fresh list-of-chunks join per call.
+        """
         value_bytes = struct.pack(f"<{len(value_words)}Q", *value_words)
         flags = (_FLAG_PACKED if self.use_packing else 0) | (
             _FLAG_MARK_STRIPPED if self.strip_mark_word else 0
         )
-        header = struct.pack("<IIB", graph.total_bytes, graph.object_count, flags)
+        header = struct.pack("<IIB", graph_total_bytes, object_count, flags)
         value_frame = struct.pack("<I", len(value_bytes))
 
         if self.use_packing:
@@ -259,12 +363,18 @@ class CerealSerializer(Serializer):
                 SECTION_BITMAPS: len(bitmap_bytes),
             }
 
-        data = b"".join(
-            [header, value_frame, value_bytes, ref_frame]
-            + ref_payload
-            + [bitmap_frame]
-            + bitmap_payload
-        )
+        out = acquire_buffer()
+        out += header
+        out += value_frame
+        out += value_bytes
+        out += ref_frame
+        for chunk in ref_payload:
+            out += chunk
+        out += bitmap_frame
+        for chunk in bitmap_payload:
+            out += chunk
+        data = bytes(out)
+        release_buffer(out)
         sections = {
             SECTION_META: len(header)
             + len(value_frame)
@@ -273,15 +383,15 @@ class CerealSerializer(Serializer):
             SECTION_VALUES: len(value_bytes),
         }
         sections.update(sections_refs)
-        profile.bytes_read = graph.total_bytes
+        profile.bytes_read = graph_total_bytes
         profile.bytes_written = len(data)
         profile.add_instructions(len(data) // 4)
         stream = SerializedStream(
             format_name=self.name,
             data=data,
             sections=sections,
-            object_count=graph.object_count,
-            graph_bytes=graph.total_bytes,
+            object_count=object_count,
+            graph_bytes=graph_total_bytes,
         )
         stream.check_sections()
         return SerializationResult(stream, profile)
@@ -392,6 +502,12 @@ class CerealSerializer(Serializer):
         offset = 0
         root_obj: Optional[HeapObject] = None
         reference_slot_addresses = []  # (slot address, relative) to validate
+        # Reference-free objects (the common case in array-heavy workloads)
+        # take a bulk-slice path: the memoized bitmap classification says
+        # "no reference slots", so the whole image is a contiguous run of
+        # the value array. Mark-stripped streams rebuild the mark word per
+        # object and stay on the per-slot loop.
+        use_fast = self.use_plans and not sections.mark_stripped
 
         for bitmap_word, bitmap_width in bitmap_items:
             address = base + offset
@@ -401,9 +517,34 @@ class CerealSerializer(Serializer):
             if bitmap_width < header_slots:
                 raise FormatError("layout bitmap smaller than the object header")
             klass = None
+            if use_fast and not P.bitmap_reference_slots(bitmap_word, bitmap_width):
+                end = value_cursor + bitmap_width
+                if end > value_count:
+                    raise FormatError("value array exhausted mid-object")
+                slot_words = value_words_in[value_cursor:end]
+                value_cursor = end
+                klass = self.registration.klass_of(slot_words[_KLASS_SLOT])
+                assert klass.metaspace_address is not None
+                slot_words[_KLASS_SLOT] = klass.metaspace_address
+                profile.add_instructions(_INSTR_PER_SLOT * bitmap_width)
+                profile.value_fields += bitmap_width
+                memory.write_words(address, slot_words)
+                length = 0
+                if isinstance(klass, ArrayKlass):
+                    length = slot_words[header_slots]
+                obj = heap.register_object(address, klass, length)
+                if root_obj is None:
+                    root_obj = obj
+                if obj.size_bytes != bitmap_width * SLOT_BYTES:
+                    raise FormatError(
+                        f"bitmap length {bitmap_width} disagrees with object size "
+                        f"{obj.size_bytes} for {klass.name}"
+                    )
+                offset += obj.size_bytes
+                continue
             # Assemble the whole object image in Python, then commit it to
             # simulated memory with one bulk word write.
-            slot_words: List[int] = []
+            slot_words = []
             for slot in range(bitmap_width):
                 profile.add_instructions(_INSTR_PER_SLOT)
                 if (bitmap_word >> (bitmap_width - 1 - slot)) & 1:

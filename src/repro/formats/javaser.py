@@ -29,9 +29,12 @@ Reference-typed fields and array elements recurse into ``content``.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterator, Optional
+import struct
+from typing import Dict, Iterator, List, Optional
 
+from repro.common.bufpool import acquire_buffer, release_buffer
 from repro.common.errors import FormatError
+from repro.formats import plans as P
 from repro.formats.base import (
     DeserializationResult,
     SerializationResult,
@@ -94,6 +97,15 @@ _INSTR_PER_CLASSDESC = 2000  # class lookup by name, descriptor construction
 _AUX_ACCESSES_PER_OBJECT_SER = 20  # handle-table + desc-cache probes
 _AUX_ACCESSES_PER_OBJECT_DESER = 30  # handle table, Field cache, ctor cache
 
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I32 = struct.Struct("<i")
+_MASK64 = (1 << 64) - 1
+# The 4-byte stream prelude write_u16(MAGIC)+write_u16(VERSION) produces.
+_STREAM_HEADER = struct.pack("<HH", MAGIC, VERSION)
+
 
 def serial_version_uid(klass: Klass) -> int:
     """Deterministic 64-bit UID from the class name and field signature."""
@@ -106,14 +118,26 @@ def serial_version_uid(klass: Klass) -> int:
 
 
 class JavaSerializer(Serializer):
-    """The baseline Java built-in serializer (paper "Java S/D")."""
+    """The baseline Java built-in serializer (paper "Java S/D").
+
+    ``use_plans=True`` (the default) routes S/D through the compiled-plan
+    kernels of :mod:`repro.formats.plans`: byte-identical streams, heap
+    images, sections, and work profiles, minus the per-object interpretive
+    overhead. ``use_plans=False`` keeps the original field-by-field
+    interpreter — the oracle the fuzz equivalence tests compare against.
+    """
 
     name = "java-builtin"
+
+    def __init__(self, use_plans: bool = True):
+        self.use_plans = use_plans
 
     # ------------------------------------------------------------------ serialize
 
     def serialize(self, root: HeapObject) -> SerializationResult:
-        writer = StreamWriter()
+        if self.use_plans:
+            return self._serialize_planned(root)
+        writer = StreamWriter(pooled=True)
         profile = WorkProfile()
         reflect = JavaReflection()
         handles: Dict[int, int] = {}  # heap address -> stream handle
@@ -239,7 +263,7 @@ class JavaSerializer(Serializer):
             else:
                 stack.append(emit_object(child))
 
-        data = writer.getvalue()
+        data = writer.detach()
         profile.add_instructions(reflect.cost.estimated_instructions())
         profile.add_instructions(len(data) * _INSTR_PER_STREAM_BYTE)
         profile.bytes_read = ObjectGraph.from_root(root).total_bytes
@@ -254,11 +278,204 @@ class JavaSerializer(Serializer):
         stream.check_sections()
         return SerializationResult(stream, profile)
 
+    # ------------------------------------------------------- serialize (plan kernel)
+
+    def _serialize_planned(self, root: HeapObject) -> SerializationResult:
+        """Compiled-plan serialize: byte-identical to the interpreter.
+
+        Per object: one plan-cache probe, one bulk image read, then a
+        straight-line replay of the plan's merged copy/convert/ref ops into
+        a pooled output arena. Profile deltas come pre-summed from the
+        plan, so the resulting :class:`WorkProfile` matches the
+        interpreter's exactly.
+        """
+        heap = root.heap
+        read = heap.memory.read
+        object_at = heap.object_at
+        header_slots = heap.header_slots
+
+        out = acquire_buffer()
+        out += _STREAM_HEADER
+        meta_count = 4
+        type_count = 0
+        data_count = 0
+        ref_count = 0
+
+        handles: Dict[int, int] = {}  # heap address -> stream handle
+        class_handles: Dict[str, int] = {}
+        next_handle = 0
+
+        objects = 0
+        instr = 0
+        reflect_instr = 0
+        aux = 0
+        dep = 0
+        value_fields = 0
+        reference_fields = 0
+        graph_bytes = 0
+
+        plans_local: Dict[Klass, object] = {}
+
+        def emit(obj: HeapObject):
+            """Emit one object's prelude; returns a frame if it has refs."""
+            nonlocal out, meta_count, type_count, data_count, ref_count, next_handle
+            nonlocal objects, instr, reflect_instr, aux, dep
+            nonlocal value_fields, reference_fields, graph_bytes
+            klass = obj.klass
+            plan = plans_local.get(klass)
+            if plan is None:
+                plan = P.plan_for(self.name, klass, header_slots)
+                plans_local[klass] = plan
+            objects += 1
+            aux += plan.ser_aux
+            dep += plan.ser_dep
+            is_array = klass.is_array
+            out.append(TC_ARRAY if is_array else TC_OBJECT)
+            meta_count += 1
+            class_handle = class_handles.get(klass.name)
+            if class_handle is None:
+                out += plan.desc_blob
+                meta_count += plan.desc_meta_bytes
+                type_count += plan.desc_type_bytes
+                class_handles[klass.name] = next_handle
+                next_handle += 1
+                instr += plan.desc_ser_instr
+            else:
+                out.append(TC_REFERENCE)
+                out += _U32.pack(class_handle)
+                ref_count += 5
+            handles[obj.address] = next_handle
+            next_handle += 1
+            if is_array:
+                length = obj.length
+                out += _U32.pack(length)
+                meta_count += 4
+                instr += plan.ser_instr + length * plan.ser_elem_instr
+                graph_bytes += obj.size_bytes
+                element_base = obj.fields_base + 8
+                if plan.is_ref:
+                    reference_fields += length
+                    if length:
+                        addresses = struct.unpack(
+                            f"<{length}Q", read(element_base, length * 8)
+                        )
+                        return [1, addresses, 0]
+                    return None
+                value_fields += length
+                nbytes = length * plan.element_width
+                if nbytes:
+                    out += read(element_base, nbytes)
+                    data_count += nbytes
+                return None
+            instr += plan.ser_instr
+            reflect_instr += plan.ser_reflect_instr
+            value_fields += plan.n_prim
+            reference_fields += plan.n_ref
+            data_count += plan.enc_data_bytes
+            graph_bytes += plan.size_bytes
+            raw = read(obj.address, plan.size_bytes)
+            if plan.n_ref == 0:
+                for op, start, end in plan.enc_ops:
+                    if op == P.OP_COPY:
+                        out += raw[start:end]
+                    else:  # OP_FLOAT
+                        out += _F32.pack(_F64.unpack_from(raw, start)[0])
+                return None
+            return [0, plan.enc_ops, 0, raw]
+
+        frame = emit(root)
+        stack: List[list] = [frame] if frame is not None else []
+        while stack:
+            frame = stack[-1]
+            descend = None
+            if frame[0] == 0:  # instance: interleaved copy/float/ref ops
+                ops = frame[1]
+                index = frame[2]
+                raw = frame[3]
+                op_count = len(ops)
+                while index < op_count:
+                    op, start, end = ops[index]
+                    index += 1
+                    if op == P.OP_COPY:
+                        out += raw[start:end]
+                    elif op == P.OP_FLOAT:
+                        out += _F32.pack(_F64.unpack_from(raw, start)[0])
+                    else:  # OP_REF
+                        address = _U64.unpack_from(raw, start)[0]
+                        if address == 0:
+                            out.append(TC_NULL)
+                            ref_count += 1
+                        else:
+                            handle = handles.get(address)
+                            if handle is not None:
+                                out.append(TC_REFERENCE)
+                                out += _U32.pack(handle)
+                                ref_count += 5
+                            else:
+                                descend = emit(object_at(address))
+                                if descend is not None:
+                                    break
+                frame[2] = index
+            else:  # reference array: a run of ref slots
+                addresses = frame[1]
+                index = frame[2]
+                count = len(addresses)
+                while index < count:
+                    address = addresses[index]
+                    index += 1
+                    if address == 0:
+                        out.append(TC_NULL)
+                        ref_count += 1
+                    else:
+                        handle = handles.get(address)
+                        if handle is not None:
+                            out.append(TC_REFERENCE)
+                            out += _U32.pack(handle)
+                            ref_count += 5
+                        else:
+                            descend = emit(object_at(address))
+                            if descend is not None:
+                                break
+                frame[2] = index
+            if descend is not None:
+                stack.append(descend)
+            else:
+                stack.pop()
+
+        data = bytes(out)
+        release_buffer(out)
+        instr += reflect_instr + len(data) * _INSTR_PER_STREAM_BYTE
+        profile = WorkProfile()
+        profile.instructions = instr
+        profile.objects = objects
+        profile.value_fields = value_fields
+        profile.reference_fields = reference_fields
+        profile.dependent_loads = dep
+        profile.aux_random_accesses = aux
+        profile.bytes_read = graph_bytes
+        profile.bytes_written = len(data)
+        sections = {_SECTION_META: meta_count, _SECTION_TYPES: type_count}
+        if data_count:
+            sections[_SECTION_DATA] = data_count
+        if ref_count:
+            sections[_SECTION_REFS] = ref_count
+        stream = SerializedStream(
+            format_name=self.name,
+            data=data,
+            sections=sections,
+            object_count=objects,
+            graph_bytes=graph_bytes,
+        )
+        stream.check_sections()
+        return SerializationResult(stream, profile)
+
     # ---------------------------------------------------------------- deserialize
 
     def deserialize(
         self, stream: SerializedStream, heap: Heap
     ) -> DeserializationResult:
+        if self.use_plans:
+            return self._deserialize_planned(stream, heap)
         reader = StreamReader(stream.data)
         profile = WorkProfile()
         reflect = JavaReflection()
@@ -434,4 +651,332 @@ class JavaSerializer(Serializer):
         profile.bytes_written = ObjectGraph.from_root(root_obj).total_bytes
         profile.add_instructions(reflect.cost.estimated_instructions())
         profile.add_instructions(len(stream.data) * _INSTR_PER_STREAM_BYTE)
+        return DeserializationResult(root_obj, profile)
+
+    # ----------------------------------------------------- deserialize (plan kernel)
+
+    @staticmethod
+    def _slow_parse_class_desc(data: bytes, pos: int, klass: Klass, name: str) -> int:
+        """Field-by-field descriptor parse, used when the fast byte compare
+        against the plan's expected descriptor fails.
+
+        Replicates the interpreter exactly — including its leniency about
+        field-name strings (read and discarded) and its precise error
+        messages for uid/count/kind mismatches. Returns the new cursor.
+        """
+        reader = StreamReader(data)
+        reader._pos = pos
+        uid = reader.read_u64()
+        reader.read_u8()  # flags
+        if serial_version_uid(klass) != uid:
+            raise FormatError(f"serialVersionUID mismatch for {name}")
+        if isinstance(klass, InstanceKlass):
+            nfields = reader.read_u16()
+            if nfields != len(klass.fields):
+                raise FormatError(f"field count mismatch for {name}")
+            for descriptor in klass.fields:
+                code = reader.read_u8()
+                if _KIND_BY_CODE.get(code) is not descriptor.kind:
+                    raise FormatError(f"field kind mismatch in {name}")
+                reader.read_utf()  # field name
+                if descriptor.kind.is_reference:
+                    reader.read_utf()  # type string
+        else:
+            reader.read_u16()
+            reader.read_u8()
+        return reader._pos
+
+    def _deserialize_planned(
+        self, stream: SerializedStream, heap: Heap
+    ) -> DeserializationResult:
+        """Compiled-plan deserialize: identical heap image and profile.
+
+        Class descriptors are validated with one slice comparison against
+        the plan's expected bytes; field values accumulate into a slot-word
+        list committed with one bulk ``write_words`` per object, preserving
+        the interpreter's allocation order (and therefore identity hashes).
+        """
+        data = stream.data
+        n_data = len(data)
+        memory = heap.memory
+        header_slots = heap.header_slots
+        pos = 0
+
+        if n_data < 4:
+            offset = 0 if n_data < 2 else 2
+            raise FormatError(
+                f"stream underflow: need 2 bytes at offset {offset}, "
+                f"have {n_data - offset}"
+            )
+        if data[:4] != _STREAM_HEADER:
+            raise FormatError("bad Java serialization stream header")
+        pos = 4
+
+        handle_table: list = []  # Klass and HeapObject entries, handle order
+        plans_local: Dict[Klass, object] = {}
+
+        objects = 0
+        allocations = 0
+        instr = 0
+        reflect_instr = 0
+        aux = 0
+        value_fields = 0
+        reference_fields = 0
+        graph_bytes = 0
+
+        def underflow(count: int) -> FormatError:
+            return FormatError(
+                f"stream underflow: need {count} bytes at offset {pos}, "
+                f"have {n_data - pos}"
+            )
+
+        def read_class_desc():
+            """Parse a classdesc; returns ``(klass, plan)``."""
+            nonlocal pos, instr
+            if pos >= n_data:
+                raise underflow(1)
+            tag = data[pos]
+            pos += 1
+            if tag == TC_REFERENCE:
+                if pos + 4 > n_data:
+                    raise underflow(4)
+                handle = _U32.unpack_from(data, pos)[0]
+                pos += 4
+                value = handle_table[handle] if handle < len(handle_table) else None
+                if not isinstance(value, Klass):
+                    raise FormatError(
+                        "class-descriptor handle resolves to non-class"
+                    )
+                plan = plans_local.get(value)
+                if plan is None:
+                    plan = P.plan_for(self.name, value, header_slots)
+                    plans_local[value] = plan
+                return value, plan
+            if tag != TC_CLASSDESC:
+                raise FormatError(f"expected class descriptor, got tag {tag:#x}")
+            if pos + 2 > n_data:
+                raise underflow(2)
+            name_length = data[pos] | (data[pos + 1] << 8)
+            pos += 2
+            if pos + name_length > n_data:
+                raise underflow(name_length)
+            try:
+                name = data[pos:pos + name_length].decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise FormatError(f"invalid UTF-8 in stream: {error}") from None
+            pos += name_length
+            klass = heap.registry.by_name(name)
+            plan = plans_local.get(klass)
+            if plan is None:
+                plan = P.plan_for(self.name, klass, header_slots)
+                plans_local[klass] = plan
+            tail = plan.desc_tail
+            if data[pos:pos + len(tail)] == tail:
+                pos += len(tail)
+            else:
+                pos = self._slow_parse_class_desc(data, pos, klass, name)
+            instr += plan.desc_de_instr
+            handle_table.append(klass)
+            return klass, plan
+
+        def run_dec_ops(ops, index: int, words: list) -> int:
+            """Execute decode ops until done or the next DOP_REF; returns
+            the op index where execution stopped."""
+            nonlocal pos, value_fields
+            op_count = len(ops)
+            while index < op_count:
+                op, field_index, extra = ops[index]
+                if op == P.DOP_REF:
+                    return index
+                if op == P.DOP_WORDS:
+                    nbytes = extra * 8
+                    if pos + nbytes > n_data:
+                        raise underflow(nbytes)
+                    words[field_index:field_index + extra] = struct.unpack_from(
+                        f"<{extra}Q", data, pos
+                    )
+                    pos += nbytes
+                elif op == P.DOP_INT:
+                    if pos + 4 > n_data:
+                        raise underflow(4)
+                    words[field_index] = _I32.unpack_from(data, pos)[0] & _MASK64
+                    pos += 4
+                elif op == P.DOP_FLOAT:
+                    if pos + 4 > n_data:
+                        raise underflow(4)
+                    words[field_index] = _U64.unpack(
+                        _F64.pack(_F32.unpack_from(data, pos)[0])
+                    )[0]
+                    pos += 4
+                elif op == P.DOP_BOOL:
+                    if pos >= n_data:
+                        raise underflow(1)
+                    words[field_index] = 1 if data[pos] else 0
+                    pos += 1
+                elif op == P.DOP_BYTE:
+                    if pos >= n_data:
+                        raise underflow(1)
+                    raw = data[pos]
+                    pos += 1
+                    words[field_index] = (
+                        raw if raw < 128 else (raw - 256) & _MASK64
+                    )
+                elif op == P.DOP_CHAR:
+                    if pos + 2 > n_data:
+                        raise underflow(2)
+                    words[field_index] = data[pos] | (data[pos + 1] << 8)
+                    pos += 2
+                else:  # DOP_SHORT
+                    if pos + 2 > n_data:
+                        raise underflow(2)
+                    raw = data[pos] | (data[pos + 1] << 8)
+                    pos += 2
+                    words[field_index] = (
+                        raw if raw < 32768 else (raw - 65536) & _MASK64
+                    )
+                index += 1
+            return index
+
+        def start_content():
+            """Parse one content item: ``(0, value)`` for null/backref/leaf
+            objects, ``(1, frame)`` for objects awaiting reference children."""
+            nonlocal pos, objects, allocations, instr, reflect_instr, aux
+            nonlocal value_fields, reference_fields, graph_bytes
+            if pos >= n_data:
+                raise underflow(1)
+            tag = data[pos]
+            pos += 1
+            if tag == TC_NULL:
+                return 0, None
+            if tag == TC_REFERENCE:
+                if pos + 4 > n_data:
+                    raise underflow(4)
+                handle = _U32.unpack_from(data, pos)[0]
+                pos += 4
+                value = handle_table[handle] if handle < len(handle_table) else None
+                if not isinstance(value, HeapObject):
+                    raise FormatError("object handle resolves to non-object")
+                return 0, value
+            if tag not in (TC_OBJECT, TC_ARRAY):
+                raise FormatError(f"unexpected tag {tag:#x}")
+            klass, plan = read_class_desc()
+            objects += 1
+            allocations += 1
+            aux += plan.de_aux
+            if tag == TC_ARRAY:
+                if not isinstance(klass, ArrayKlass):
+                    raise FormatError("TC_ARRAY with non-array class")
+                if pos + 4 > n_data:
+                    raise underflow(4)
+                length = _U32.unpack_from(data, pos)[0]
+                pos += 4
+                obj = heap.allocate(klass, length)
+                handle_table.append(obj)
+                instr += plan.de_instr + length * plan.de_elem_instr
+                graph_bytes += obj.size_bytes
+                if plan.is_ref:
+                    reference_fields += length
+                    if length == 0:
+                        return 0, obj
+                    return 1, [1, obj, [0] * length, 0]
+                value_fields += length
+                nbytes = length * plan.element_width
+                if nbytes:
+                    if pos + nbytes > n_data:
+                        raise underflow(nbytes)
+                    memory.write(obj.fields_base + 8, data[pos:pos + nbytes])
+                    pos += nbytes
+                return 0, obj
+            if not isinstance(klass, InstanceKlass):
+                raise FormatError("TC_OBJECT with array class")
+            obj = heap.allocate(klass)
+            handle_table.append(obj)
+            instr += plan.de_instr
+            reflect_instr += plan.de_reflect_instr
+            value_fields += plan.n_prim
+            reference_fields += plan.n_ref
+            graph_bytes += plan.size_bytes
+            words = [0] * plan.field_count
+            if plan.n_ref == 0:
+                run_dec_ops(plan.dec_ops, 0, words)
+                if words:
+                    memory.write_words(obj.fields_base, words)
+                return 0, obj
+            return 1, [0, obj, plan.dec_ops, 0, words]
+
+        _UNSET = object()
+        kind, payload = start_content()
+        if kind == 0:
+            if payload is None:
+                raise FormatError("stream root must be an object")
+            root_obj = payload  # a leaf object: fully parsed inline
+            stack: List[list] = []
+        else:
+            stack = [payload]
+            root_obj = payload[1]
+        pending = _UNSET
+        while stack:
+            frame = stack[-1]
+            descend = None
+            if frame[0] == 0:  # instance frame
+                obj, ops, words = frame[1], frame[2], frame[4]
+                index = frame[3]
+                if pending is not _UNSET:
+                    child, pending = pending, _UNSET
+                    words[ops[index][1]] = 0 if child is None else child.address
+                    index += 1
+                op_count = len(ops)
+                while True:
+                    index = run_dec_ops(ops, index, words)
+                    if index >= op_count:
+                        break
+                    kind, payload = start_content()
+                    if kind == 0:
+                        words[ops[index][1]] = (
+                            0 if payload is None else payload.address
+                        )
+                        index += 1
+                    else:
+                        descend = payload
+                        break
+                frame[3] = index
+                if descend is None:
+                    if words:
+                        memory.write_words(obj.fields_base, words)
+                    stack.pop()
+                    pending = obj
+            else:  # reference-array frame
+                obj, words = frame[1], frame[2]
+                index = frame[3]
+                if pending is not _UNSET:
+                    child, pending = pending, _UNSET
+                    words[index] = 0 if child is None else child.address
+                    index += 1
+                count = len(words)
+                while index < count:
+                    kind, payload = start_content()
+                    if kind == 0:
+                        words[index] = 0 if payload is None else payload.address
+                        index += 1
+                    else:
+                        descend = payload
+                        break
+                frame[3] = index
+                if descend is None:
+                    memory.write_words(obj.fields_base + 8, words)
+                    stack.pop()
+                    pending = obj
+            if descend is not None:
+                stack.append(descend)
+
+        instr += reflect_instr + n_data * _INSTR_PER_STREAM_BYTE
+        profile = WorkProfile()
+        profile.instructions = instr
+        profile.objects = objects
+        profile.allocations = allocations
+        profile.value_fields = value_fields
+        profile.reference_fields = reference_fields
+        profile.aux_random_accesses = aux
+        profile.bytes_read = n_data
+        profile.bytes_written = graph_bytes
         return DeserializationResult(root_obj, profile)

@@ -26,9 +26,11 @@ Reference fields and reference-array elements recurse into ``content``.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.common.bufpool import acquire_buffer, release_buffer
 from repro.common.errors import FormatError
+from repro.formats import plans as P
 from repro.formats.base import (
     DeserializationResult,
     SerializationResult,
@@ -40,7 +42,7 @@ from repro.formats.registry import ClassRegistration
 from repro.formats.streams import StreamReader, StreamWriter
 from repro.jvm.graph import ObjectGraph
 from repro.jvm.heap import Heap, HeapObject
-from repro.jvm.klass import ArrayKlass, FieldKind, InstanceKlass
+from repro.jvm.klass import ArrayKlass, FieldKind, InstanceKlass, Klass
 from repro.jvm.reflection import ReflectAsmAccess
 
 MARK_NULL = 0x00
@@ -67,16 +69,30 @@ _INSTR_PER_STREAM_BYTE = 1
 _AUX_ACCESSES_PER_OBJECT_SER = 6  # identity-map probe + insert
 _AUX_ACCESSES_PER_OBJECT_DESER = 1  # resolver table append
 
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_MASK64 = (1 << 64) - 1
+
 
 class KryoSerializer(Serializer):
     """Kryo with mandatory type registration ("Kryo" in the paper)."""
 
     name = "kryo"
 
-    def __init__(self, registration: Optional[ClassRegistration] = None):
+    def __init__(
+        self,
+        registration: Optional[ClassRegistration] = None,
+        use_plans: bool = True,
+    ):
         self.registration = (
             registration if registration is not None else ClassRegistration()
         )
+        # Plan kernels are byte-identical to the interpreter; the class-ID
+        # varints depend on this instance's registration, so they are
+        # cached per serialize call, not baked into the shared plans.
+        self.use_plans = use_plans
 
     def register(self, klass) -> int:
         """Kryo's ``register(Class)``: required before S/D of that type."""
@@ -85,7 +101,9 @@ class KryoSerializer(Serializer):
     # ------------------------------------------------------------------ serialize
 
     def serialize(self, root: HeapObject) -> SerializationResult:
-        writer = StreamWriter()
+        if self.use_plans:
+            return self._serialize_planned(root)
+        writer = StreamWriter(pooled=True)
         profile = WorkProfile()
         asm = ReflectAsmAccess()
         object_ids: Dict[int, int] = {}
@@ -162,7 +180,7 @@ class KryoSerializer(Serializer):
             else:
                 stack.append(emit_object(child))
 
-        data = writer.getvalue()
+        data = writer.detach()
         profile.add_instructions(asm.cost.estimated_instructions())
         profile.add_instructions(len(data) * _INSTR_PER_STREAM_BYTE)
         profile.bytes_read = ObjectGraph.from_root(root).total_bytes
@@ -177,11 +195,213 @@ class KryoSerializer(Serializer):
         stream.check_sections()
         return SerializationResult(stream, profile)
 
+    # ------------------------------------------------------- serialize (plan kernel)
+
+    def _serialize_planned(self, root: HeapObject) -> SerializationResult:
+        """Compiled-plan serialize: byte-identical to the interpreter."""
+        heap = root.heap
+        read = heap.memory.read
+        object_at = heap.object_at
+        header_slots = heap.header_slots
+        id_of = self.registration.id_of
+        append_varint = P.append_varint
+        append_signed = P.append_signed_varint
+
+        out = acquire_buffer()
+        mark_count = 0
+        class_id_count = 0
+        data_count = 0
+        ref_count = 0
+
+        object_ids: Dict[int, int] = {}  # heap address -> object id
+        next_object_id = 0
+        class_id_bytes: Dict[Klass, bytes] = {}  # per-call: registration-local
+
+        objects = 0
+        instr = 0
+        reflect_instr = 0
+        aux = 0
+        dep = 0
+        value_fields = 0
+        reference_fields = 0
+        graph_bytes = 0
+
+        plans_local: Dict[Klass, object] = {}
+
+        def emit(obj: HeapObject):
+            nonlocal out, mark_count, class_id_count, data_count, next_object_id
+            nonlocal objects, instr, reflect_instr, aux, dep
+            nonlocal value_fields, reference_fields, graph_bytes
+            klass = obj.klass
+            plan = plans_local.get(klass)
+            if plan is None:
+                plan = P.plan_for(self.name, klass, header_slots)
+                plans_local[klass] = plan
+            encoded_id = class_id_bytes.get(klass)
+            if encoded_id is None:
+                id_buffer = bytearray()
+                append_varint(id_buffer, id_of(klass))
+                encoded_id = bytes(id_buffer)
+                class_id_bytes[klass] = encoded_id
+            objects += 1
+            aux += plan.ser_aux
+            dep += plan.ser_dep
+            object_ids[obj.address] = next_object_id
+            next_object_id += 1
+            is_array = klass.is_array
+            out.append(MARK_ARRAY if is_array else MARK_OBJECT)
+            mark_count += 1
+            out += encoded_id
+            class_id_count += len(encoded_id)
+            if is_array:
+                length = obj.length
+                data_count += append_varint(out, length)
+                instr += plan.ser_instr + length * plan.ser_elem_instr
+                graph_bytes += obj.size_bytes
+                element_base = obj.fields_base + 8
+                if plan.is_ref:
+                    reference_fields += length
+                    if length:
+                        addresses = struct.unpack(
+                            f"<{length}Q", read(element_base, length * 8)
+                        )
+                        return [1, addresses, 0]
+                    return None
+                value_fields += length
+                if length == 0:
+                    return None
+                if plan.copy_elements:
+                    nbytes = length * plan.element_width
+                    out += read(element_base, nbytes)
+                    data_count += nbytes
+                else:  # INT/LONG arrays: zig-zag varint per element
+                    values = struct.unpack(
+                        f"<{length}{plan.varint_code}",
+                        read(element_base, length * plan.element_width),
+                    )
+                    for value in values:
+                        data_count += append_signed(out, value)
+                return None
+            instr += plan.ser_instr
+            reflect_instr += plan.ser_reflect_instr
+            value_fields += plan.n_prim
+            reference_fields += plan.n_ref
+            data_count += plan.enc_data_bytes
+            graph_bytes += plan.size_bytes
+            raw = read(obj.address, plan.size_bytes)
+            if plan.n_ref == 0:
+                for op, start, end in plan.enc_ops:
+                    if op == P.OP_COPY:
+                        out += raw[start:end]
+                    elif op == P.OP_VARINT:
+                        data_count += append_signed(
+                            out, _I64.unpack_from(raw, start)[0]
+                        )
+                    else:  # OP_FLOAT
+                        out += _F32.pack(_F64.unpack_from(raw, start)[0])
+                return None
+            return [0, plan.enc_ops, 0, raw]
+
+        frame = emit(root)
+        stack: List[list] = [frame] if frame is not None else []
+        while stack:
+            frame = stack[-1]
+            descend = None
+            if frame[0] == 0:  # instance: interleaved value/ref ops
+                ops = frame[1]
+                index = frame[2]
+                raw = frame[3]
+                op_count = len(ops)
+                while index < op_count:
+                    op, start, end = ops[index]
+                    index += 1
+                    if op == P.OP_COPY:
+                        out += raw[start:end]
+                    elif op == P.OP_VARINT:
+                        data_count += append_signed(
+                            out, _I64.unpack_from(raw, start)[0]
+                        )
+                    elif op == P.OP_FLOAT:
+                        out += _F32.pack(_F64.unpack_from(raw, start)[0])
+                    else:  # OP_REF
+                        address = _U64.unpack_from(raw, start)[0]
+                        if address == 0:
+                            out.append(MARK_NULL)
+                            mark_count += 1
+                        else:
+                            object_id = object_ids.get(address)
+                            if object_id is not None:
+                                out.append(MARK_BACKREF)
+                                mark_count += 1
+                                ref_count += append_varint(out, object_id)
+                            else:
+                                descend = emit(object_at(address))
+                                if descend is not None:
+                                    break
+                frame[2] = index
+            else:  # reference array
+                addresses = frame[1]
+                index = frame[2]
+                count = len(addresses)
+                while index < count:
+                    address = addresses[index]
+                    index += 1
+                    if address == 0:
+                        out.append(MARK_NULL)
+                        mark_count += 1
+                    else:
+                        object_id = object_ids.get(address)
+                        if object_id is not None:
+                            out.append(MARK_BACKREF)
+                            mark_count += 1
+                            ref_count += append_varint(out, object_id)
+                        else:
+                            descend = emit(object_at(address))
+                            if descend is not None:
+                                break
+                frame[2] = index
+            if descend is not None:
+                stack.append(descend)
+            else:
+                stack.pop()
+
+        data = bytes(out)
+        release_buffer(out)
+        instr += reflect_instr + len(data) * _INSTR_PER_STREAM_BYTE
+        profile = WorkProfile()
+        profile.instructions = instr
+        profile.objects = objects
+        profile.value_fields = value_fields
+        profile.reference_fields = reference_fields
+        profile.dependent_loads = dep
+        profile.aux_random_accesses = aux
+        profile.bytes_read = graph_bytes
+        profile.bytes_written = len(data)
+        sections = {
+            _SECTION_MARKS: mark_count,
+            _SECTION_CLASS_IDS: class_id_count,
+        }
+        if data_count:
+            sections[_SECTION_DATA] = data_count
+        if ref_count:
+            sections[_SECTION_REFS] = ref_count
+        stream = SerializedStream(
+            format_name=self.name,
+            data=data,
+            sections=sections,
+            object_count=objects,
+            graph_bytes=graph_bytes,
+        )
+        stream.check_sections()
+        return SerializationResult(stream, profile)
+
     # ---------------------------------------------------------------- deserialize
 
     def deserialize(
         self, stream: SerializedStream, heap: Heap
     ) -> DeserializationResult:
+        if self.use_plans:
+            return self._deserialize_planned(stream, heap)
         reader = StreamReader(stream.data)
         profile = WorkProfile()
         asm = ReflectAsmAccess()
@@ -300,4 +520,243 @@ class KryoSerializer(Serializer):
         profile.bytes_written = ObjectGraph.from_root(root_obj).total_bytes
         profile.add_instructions(asm.cost.estimated_instructions())
         profile.add_instructions(len(stream.data) * _INSTR_PER_STREAM_BYTE)
+        return DeserializationResult(root_obj, profile)
+
+    # ----------------------------------------------------- deserialize (plan kernel)
+
+    def _deserialize_planned(
+        self, stream: SerializedStream, heap: Heap
+    ) -> DeserializationResult:
+        """Compiled-plan deserialize: identical heap image and profile."""
+        data = stream.data
+        n_data = len(data)
+        memory = heap.memory
+        header_slots = heap.header_slots
+        klass_of = self.registration.klass_of
+        read_varint = P.read_varint
+        read_signed = P.read_signed_varint
+        pos = 0
+
+        objects_by_id: List[HeapObject] = []
+        plans_local: Dict[Klass, object] = {}
+
+        objects = 0
+        allocations = 0
+        instr = 0
+        reflect_instr = 0
+        aux = 0
+        value_fields = 0
+        reference_fields = 0
+        graph_bytes = 0
+
+        def underflow(count: int) -> FormatError:
+            return FormatError(
+                f"stream underflow: need {count} bytes at offset {pos}, "
+                f"have {n_data - pos}"
+            )
+
+        def run_dec_ops(ops, index: int, words: list) -> int:
+            nonlocal pos
+            op_count = len(ops)
+            while index < op_count:
+                op, field_index, extra = ops[index]
+                if op == P.DOP_REF:
+                    return index
+                if op == P.DOP_VARINT:
+                    value, pos = read_signed(data, pos)
+                    words[field_index] = value & _MASK64
+                elif op == P.DOP_WORDS:
+                    nbytes = extra * 8
+                    if pos + nbytes > n_data:
+                        raise underflow(nbytes)
+                    words[field_index:field_index + extra] = struct.unpack_from(
+                        f"<{extra}Q", data, pos
+                    )
+                    pos += nbytes
+                elif op == P.DOP_FLOAT:
+                    if pos + 4 > n_data:
+                        raise underflow(4)
+                    words[field_index] = _U64.unpack(
+                        _F64.pack(_F32.unpack_from(data, pos)[0])
+                    )[0]
+                    pos += 4
+                elif op == P.DOP_BOOL:
+                    if pos >= n_data:
+                        raise underflow(1)
+                    words[field_index] = 1 if data[pos] else 0
+                    pos += 1
+                elif op == P.DOP_BYTE:
+                    if pos >= n_data:
+                        raise underflow(1)
+                    raw = data[pos]
+                    pos += 1
+                    words[field_index] = (
+                        raw if raw < 128 else (raw - 256) & _MASK64
+                    )
+                elif op == P.DOP_CHAR:
+                    if pos + 2 > n_data:
+                        raise underflow(2)
+                    words[field_index] = data[pos] | (data[pos + 1] << 8)
+                    pos += 2
+                else:  # DOP_SHORT
+                    if pos + 2 > n_data:
+                        raise underflow(2)
+                    raw = data[pos] | (data[pos + 1] << 8)
+                    pos += 2
+                    words[field_index] = (
+                        raw if raw < 32768 else (raw - 65536) & _MASK64
+                    )
+                index += 1
+            return index
+
+        def start_content():
+            nonlocal pos, objects, allocations, instr, reflect_instr, aux
+            nonlocal value_fields, reference_fields, graph_bytes
+            if pos >= n_data:
+                raise underflow(1)
+            mark = data[pos]
+            pos += 1
+            if mark == MARK_NULL:
+                return 0, None
+            if mark == MARK_BACKREF:
+                object_id, pos = read_varint(data, pos)
+                if object_id >= len(objects_by_id):
+                    raise FormatError(f"forward object reference {object_id}")
+                return 0, objects_by_id[object_id]
+            if mark not in (MARK_OBJECT, MARK_ARRAY):
+                raise FormatError(f"unexpected marker {mark:#x}")
+            class_id, pos = read_varint(data, pos)
+            klass = klass_of(class_id)
+            plan = plans_local.get(klass)
+            if plan is None:
+                plan = P.plan_for(self.name, klass, header_slots)
+                plans_local[klass] = plan
+            objects += 1
+            allocations += 1
+            aux += plan.de_aux
+            if mark == MARK_ARRAY:
+                if not isinstance(klass, ArrayKlass):
+                    raise FormatError("array marker with non-array class ID")
+                length, pos = read_varint(data, pos)
+                obj = heap.allocate(klass, length)
+                objects_by_id.append(obj)
+                instr += plan.de_instr + length * plan.de_elem_instr
+                graph_bytes += obj.size_bytes
+                if plan.is_ref:
+                    reference_fields += length
+                    if length == 0:
+                        return 0, obj
+                    return 1, [1, obj, [0] * length, 0]
+                value_fields += length
+                if length == 0:
+                    return 0, obj
+                element_base = obj.fields_base + 8
+                if plan.copy_elements:
+                    nbytes = length * plan.element_width
+                    if pos + nbytes > n_data:
+                        raise underflow(nbytes)
+                    memory.write(element_base, data[pos:pos + nbytes])
+                    pos += nbytes
+                else:  # INT/LONG arrays: zig-zag varint per element
+                    values = []
+                    for _ in range(length):
+                        value, pos = read_signed(data, pos)
+                        values.append(value)
+                    memory.write(
+                        element_base,
+                        struct.pack(f"<{length}{plan.varint_code}", *values),
+                    )
+                return 0, obj
+            if not isinstance(klass, InstanceKlass):
+                raise FormatError("object marker with array class ID")
+            obj = heap.allocate(klass)
+            objects_by_id.append(obj)
+            instr += plan.de_instr
+            reflect_instr += plan.de_reflect_instr
+            value_fields += plan.n_prim
+            reference_fields += plan.n_ref
+            graph_bytes += plan.size_bytes
+            words = [0] * plan.field_count
+            if plan.n_ref == 0:
+                run_dec_ops(plan.dec_ops, 0, words)
+                if words:
+                    memory.write_words(obj.fields_base, words)
+                return 0, obj
+            return 1, [0, obj, plan.dec_ops, 0, words]
+
+        _UNSET = object()
+        kind, payload = start_content()
+        if kind == 0:
+            if payload is None:
+                raise FormatError("stream root must be an object")
+            root_obj = payload
+            stack: List[list] = []
+        else:
+            stack = [payload]
+            root_obj = payload[1]
+        pending = _UNSET
+        while stack:
+            frame = stack[-1]
+            descend = None
+            if frame[0] == 0:  # instance frame
+                obj, ops, words = frame[1], frame[2], frame[4]
+                index = frame[3]
+                if pending is not _UNSET:
+                    child, pending = pending, _UNSET
+                    words[ops[index][1]] = 0 if child is None else child.address
+                    index += 1
+                op_count = len(ops)
+                while True:
+                    index = run_dec_ops(ops, index, words)
+                    if index >= op_count:
+                        break
+                    kind, payload = start_content()
+                    if kind == 0:
+                        words[ops[index][1]] = (
+                            0 if payload is None else payload.address
+                        )
+                        index += 1
+                    else:
+                        descend = payload
+                        break
+                frame[3] = index
+                if descend is None:
+                    if words:
+                        memory.write_words(obj.fields_base, words)
+                    stack.pop()
+                    pending = obj
+            else:  # reference-array frame
+                obj, words = frame[1], frame[2]
+                index = frame[3]
+                if pending is not _UNSET:
+                    child, pending = pending, _UNSET
+                    words[index] = 0 if child is None else child.address
+                    index += 1
+                count = len(words)
+                while index < count:
+                    kind, payload = start_content()
+                    if kind == 0:
+                        words[index] = 0 if payload is None else payload.address
+                        index += 1
+                    else:
+                        descend = payload
+                        break
+                frame[3] = index
+                if descend is None:
+                    memory.write_words(obj.fields_base + 8, words)
+                    stack.pop()
+                    pending = obj
+            if descend is not None:
+                stack.append(descend)
+
+        instr += reflect_instr + n_data * _INSTR_PER_STREAM_BYTE
+        profile = WorkProfile()
+        profile.instructions = instr
+        profile.objects = objects
+        profile.allocations = allocations
+        profile.value_fields = value_fields
+        profile.reference_fields = reference_fields
+        profile.aux_random_accesses = aux
+        profile.bytes_read = n_data
+        profile.bytes_written = graph_bytes
         return DeserializationResult(root_obj, profile)

@@ -70,7 +70,7 @@ class SkywaySerializer(Serializer):
 
     def serialize(self, root: HeapObject) -> SerializationResult:
         graph = ObjectGraph.from_root(root)
-        writer = StreamWriter()
+        writer = StreamWriter(pooled=True)
         profile = WorkProfile()
         heap = root.heap
         memory = heap.memory
@@ -107,7 +107,7 @@ class SkywaySerializer(Serializer):
                     profile.value_fields += 1
                     writer.write_u64(raw, _SECTION_VALUES)
 
-        data = writer.getvalue()
+        data = writer.detach()
         profile.bytes_read = graph.total_bytes
         profile.bytes_written = len(data)
         # Bulk copies are cheap per byte; add the memcpy cost.

@@ -107,3 +107,26 @@ def slow_pack_bitmaps(bitmaps: Sequence[Sequence[int]]) -> PackedArray:
 def slow_unpack_bitmaps(packed: PackedArray) -> List[List[int]]:
     """Per-bit inverse of :func:`slow_pack_bitmaps`."""
     return slow_unpack_bit_items(packed)
+
+
+def oracle_serializer(format_name: str, **kwargs):
+    """Build a serializer with the compiled-plan fast path disabled.
+
+    The plan kernels in :mod:`repro.formats.plans` must produce streams
+    byte-identical to these interpreter-path serializers for every input;
+    ``tests/test_plans.py`` enforces it over the fuzz corpus, and
+    ``benchmarks/bench_wallclock.py`` measures the plan speedup against
+    them. Imports are deferred so this module stays free of serializer
+    dependencies for the packing-oracle consumers.
+    """
+    from repro.formats.cereal_format import CerealSerializer
+    from repro.formats.javaser import JavaSerializer
+    from repro.formats.kryo import KryoSerializer
+
+    if format_name == "java-builtin":
+        return JavaSerializer(use_plans=False, **kwargs)
+    if format_name == "kryo":
+        return KryoSerializer(use_plans=False, **kwargs)
+    if format_name == "cereal":
+        return CerealSerializer(use_plans=False, **kwargs)
+    raise FormatError(f"no oracle serializer for format {format_name!r}")

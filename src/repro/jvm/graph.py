@@ -10,10 +10,12 @@ once even when shared or part of a cycle.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.jvm.heap import HeapObject
+from repro.jvm.layout_cache import KlassLayout, layout_of
 
 
 def traverse_object_graph(root: HeapObject) -> Iterator[HeapObject]:
@@ -22,19 +24,30 @@ def traverse_object_graph(root: HeapObject) -> Iterator[HeapObject]:
     Uses an explicit stack so deep structures (long lists) do not hit the
     Python recursion limit. Children are pushed in reverse slot order so
     they pop in declaration order, matching a recursive serializer.
+
+    Already-visited children are pushed and skipped at pop time rather
+    than filtered at push time: duplicates on the stack are *required* for
+    correct DFS order (a later-pushed duplicate must pop first), so the
+    push-time membership test and the intermediate filtered child list the
+    seed built per object were pure allocation churn with no effect on the
+    yield sequence.
     """
     visited: Set[int] = set()
+    add_visited = visited.add
     stack: List[HeapObject] = [root]
+    push = stack.append
     while stack:
         obj = stack.pop()
-        if obj.address in visited:
+        address = obj.address
+        if address in visited:
             continue
-        visited.add(obj.address)
+        add_visited(address)
         yield obj
-        children = [c for c in obj.referenced_objects() if c is not None]
-        for child in reversed(children):
-            if child.address not in visited:
-                stack.append(child)
+        children = obj.referenced_objects()
+        for index in range(len(children) - 1, -1, -1):
+            child = children[index]
+            if child is not None:
+                push(child)
 
 
 def traverse_object_graph_bfs(root: HeapObject) -> Iterator[HeapObject]:
@@ -45,8 +58,6 @@ def traverse_object_graph_bfs(root: HeapObject) -> Iterator[HeapObject]:
     object's children are appended behind all previously-discovered objects
     (paper Section V-B).
     """
-    from collections import deque
-
     visited: Set[int] = {root.address}
     queue = deque([root])
     while queue:
@@ -56,6 +67,108 @@ def traverse_object_graph_bfs(root: HeapObject) -> Iterator[HeapObject]:
             if child is not None and child.address not in visited:
                 visited.add(child.address)
                 queue.append(child)
+
+
+def traverse_slot_runs(
+    root: HeapObject, order: str = "dfs"
+) -> Iterator[Tuple[HeapObject, KlassLayout]]:
+    """Yield ``(object, layout)`` slot-run tuples in traversal order.
+
+    The fast path under the compiled-plan serializers: one memoized layout
+    probe per object hands a consumer everything shape-dependent (slot
+    counts, reference-slot runs, the bitmap word), and children are
+    discovered by reading the reference slots straight out of simulated
+    memory — no per-object klass-metadata re-derivation, no intermediate
+    child-handle lists. Traversal order (and the memory-read pattern over
+    reference slots) matches :func:`traverse_object_graph` /
+    :func:`traverse_object_graph_bfs` exactly.
+    """
+    heap = root.heap
+    memory = heap.memory
+    read_u64 = memory.read_u64
+    object_at = heap.object_at
+    header_slots = heap.header_slots
+    header_bytes = header_slots * 8
+
+    if order == "dfs":
+        visited: Set[int] = set()
+        add_visited = visited.add
+        stack: List[HeapObject] = [root]
+        push = stack.append
+        while stack:
+            obj = stack.pop()
+            address = obj.address
+            if address in visited:
+                continue
+            add_visited(address)
+            layout = layout_of(obj.klass, header_slots, obj.length)
+            yield obj, layout
+            reference_slots = layout.reference_slots
+            if reference_slots:
+                fields_base = address + header_bytes
+                child_addresses = [
+                    read_u64(fields_base + slot * 8) for slot in reference_slots
+                ]
+                for index in range(len(child_addresses) - 1, -1, -1):
+                    child_address = child_addresses[index]
+                    if child_address:
+                        push(object_at(child_address))
+    elif order == "bfs":
+        seen: Set[int] = {root.address}
+        add_seen = seen.add
+        queue = deque([root])
+        while queue:
+            obj = queue.popleft()
+            layout = layout_of(obj.klass, header_slots, obj.length)
+            yield obj, layout
+            fields_base = obj.address + header_bytes
+            for slot in layout.reference_slots:
+                child_address = read_u64(fields_base + slot * 8)
+                if child_address and child_address not in seen:
+                    add_seen(child_address)
+                    queue.append(object_at(child_address))
+    else:
+        raise ValueError(f"unknown traversal order {order!r}")
+
+
+@dataclass
+class SlotRunGraph:
+    """Materialized slot-run traversal: objects, layouts, relative map.
+
+    The plan-path equivalent of :class:`ObjectGraph` — one pass collects
+    everything the Cereal plan kernel needs (objects paired with their
+    memoized layouts, relative addresses, the total image size) without
+    re-deriving klass metadata per object.
+    """
+
+    root: HeapObject
+    objects: List[HeapObject]
+    layouts: List[KlassLayout]
+    relative_address: Dict[int, int]
+    total_bytes: int
+
+    @classmethod
+    def from_root(cls, root: HeapObject, order: str = "dfs") -> "SlotRunGraph":
+        objects: List[HeapObject] = []
+        layouts: List[KlassLayout] = []
+        relative: Dict[int, int] = {}
+        offset = 0
+        for obj, layout in traverse_slot_runs(root, order=order):
+            objects.append(obj)
+            layouts.append(layout)
+            relative[obj.address] = offset
+            offset += layout.total_slots * 8
+        return cls(
+            root=root,
+            objects=objects,
+            layouts=layouts,
+            relative_address=relative,
+            total_bytes=offset,
+        )
+
+    @property
+    def object_count(self) -> int:
+        return len(self.objects)
 
 
 @dataclass

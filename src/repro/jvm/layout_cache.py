@@ -29,6 +29,13 @@ from repro.jvm.klass import Klass
 _MAX_ENTRIES = 1 << 16
 _CACHE: Dict[Tuple[Klass, int, int], "KlassLayout"] = {}
 
+# Hit/miss/eviction counters for benchmarks and SLO reports. An
+# "eviction" is a full clear at the entry cap (the cache is regenerable,
+# so wholesale invalidation is cheaper than tracking recency).
+_HITS = 0
+_MISSES = 0
+_EVICTIONS = 0
+
 
 @dataclass(frozen=True)
 class KlassLayout:
@@ -51,10 +58,13 @@ class KlassLayout:
 
 def layout_of(klass: Klass, header_slots: int, length: int = 0) -> KlassLayout:
     """The memoized layout for ``klass`` under a given header geometry."""
+    global _HITS, _MISSES
     key = (klass, header_slots, length)
     layout = _CACHE.get(key)
     if layout is not None:
+        _HITS += 1
         return layout
+    _MISSES += 1
 
     field_slots = klass.instance_slots(length)
     total_slots = header_slots + field_slots
@@ -73,15 +83,34 @@ def layout_of(klass: Klass, header_slots: int, length: int = 0) -> KlassLayout:
         image_struct=struct.Struct(f"<{total_slots}Q"),
     )
     if len(_CACHE) >= _MAX_ENTRIES:
+        global _EVICTIONS
         _CACHE.clear()
+        _EVICTIONS += 1
     _CACHE[key] = layout
     return layout
 
 
-def clear_layout_cache() -> None:
+def clear_layout_cache(reset_stats: bool = False) -> None:
     """Drop all memoized layouts (tests, klass-mutation scenarios)."""
+    global _HITS, _MISSES, _EVICTIONS
     _CACHE.clear()
+    if reset_stats:
+        _HITS = 0
+        _MISSES = 0
+        _EVICTIONS = 0
 
 
 def cache_size() -> int:
     return len(_CACHE)
+
+
+def stats() -> Dict[str, object]:
+    """Hit/miss/eviction counters plus derived hit rate."""
+    probes = _HITS + _MISSES
+    return {
+        "hits": _HITS,
+        "misses": _MISSES,
+        "evictions": _EVICTIONS,
+        "entries": len(_CACHE),
+        "hit_rate": round(_HITS / probes, 4) if probes else 0.0,
+    }

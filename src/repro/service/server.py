@@ -35,9 +35,12 @@ from repro.cereal.accelerator import CerealAccelerator
 from repro.cereal.device_sim import DeviceSimulator
 from repro.common.config import CerealConfig, DRAMConfig
 from repro.common.errors import ConfigError, SimulationError
+from repro.common.bufpool import pool_stats
 from repro.faults.injector import FaultInjector
+from repro.formats.plans import plan_cache_stats
 from repro.formats.verify import graphs_equivalent
 from repro.jvm.heap import Heap
+from repro.jvm.layout_cache import stats as layout_cache_stats
 from repro.service.admission import (
     DECISION_DEGRADE,
     DECISION_SHED,
@@ -509,5 +512,10 @@ class SerializationServer:
             mean_batch_size=self.coalescer.mean_batch_size,
             peak_outstanding=self.admission.peak_outstanding,
             verified_requests=self.verified_requests,
+            runtime_caches={
+                "plan_cache": plan_cache_stats(),
+                "layout_cache": layout_cache_stats(),
+                "buffer_pool": pool_stats(),
+            },
         )
         return report

@@ -24,7 +24,7 @@ from repro.jvm import FieldDescriptor, FieldKind, Heap, InstanceKlass, KlassRegi
 from repro.jvm.strings import new_string
 from repro.workloads.datagen import DeterministicRandom
 
-_SEEDS = tuple(range(1, 9))
+_SEEDS = tuple(range(1, 13))
 
 _PRIMITIVE_ARRAY_KINDS = (
     FieldKind.BYTE,
@@ -88,6 +88,11 @@ def _fill_primitives(node, rng: DeterministicRandom) -> None:
 def build_fuzz_graph(heap: Heap, seed: int):
     """Random graph with strings, arrays, nulls, sharing, and cycles.
 
+    Beyond the base population, every graph carries the stress shapes the
+    compiled-plan kernels special-case: a deep ``peer`` chain (frame-stack
+    depth, handle back-reference runs), a wide primitive array (the bulk
+    element copy path), and an all-null reference array.
+
     Returns a reference array rooting *every* created object so one
     serialize call must cover the whole population.
     """
@@ -101,6 +106,19 @@ def build_fuzz_graph(heap: Heap, seed: int):
             node = heap.new_instance("FuzzLeaf")
             node.set("ident", rng.randint(*_RANGES[FieldKind.LONG]))
             node.set("weight", rng.gauss_like())
+        nodes.append(node)
+
+    # Deep chain: each node's ``peer`` points at the previous one. Chain
+    # nodes keep their peer through the wiring pass below so the chain
+    # depth survives into the serialized graph.
+    chain_head = None
+    chain_addresses = set()
+    for _ in range(rng.randint(60, 160)):
+        node = heap.new_instance("FuzzNode")
+        _fill_primitives(node, rng)
+        node.set("peer", chain_head)
+        chain_head = node
+        chain_addresses.add(node.address)
         nodes.append(node)
 
     arrays = []
@@ -117,10 +135,24 @@ def build_fuzz_graph(heap: Heap, seed: int):
             else:
                 array.set_element(index, rng.randint(low, high))
         arrays.append(array)
+    # Wide primitive array: long bulk element runs.
+    wide_kind = _PRIMITIVE_ARRAY_KINDS[
+        rng.randint(0, len(_PRIMITIVE_ARRAY_KINDS) - 1)
+    ]
+    wide = heap.new_array(wide_kind, rng.randint(200, 500))
+    low, high = _RANGES.get(wide_kind, (0, 0))
+    for index in range(wide.length):
+        if wide_kind is FieldKind.DOUBLE:
+            wide.set_element(index, rng.random() * 1e9 - 5e8)
+        else:
+            wide.set_element(index, rng.randint(low, high))
+    arrays.append(wide)
     for _ in range(rng.randint(1, 3)):
         arrays.append(new_string(heap, rng.ascii_string(rng.randint(0, 40))))
 
     ref_arrays = []
+    # All-null reference array: a run of TC_NULL/MARK_NULL with no targets.
+    ref_arrays.append(heap.new_array(FieldKind.REFERENCE, rng.randint(1, 8)))
     population = nodes + arrays
     for _ in range(rng.randint(1, 3)):
         length = rng.randint(0, 10)
@@ -138,7 +170,8 @@ def build_fuzz_graph(heap: Heap, seed: int):
         if node.klass.name != "FuzzNode":
             continue
         node.set("label", None if rng.random() < 0.4 else rng.choice(arrays))
-        node.set("peer", None if rng.random() < 0.3 else rng.choice(everything))
+        if node.address not in chain_addresses:
+            node.set("peer", None if rng.random() < 0.3 else rng.choice(everything))
         node.set("data", None if rng.random() < 0.3 else rng.choice(ref_arrays))
 
     root = heap.new_array(FieldKind.REFERENCE, len(everything))
