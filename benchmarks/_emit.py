@@ -36,10 +36,19 @@ SCHEMA_VERSION = 1
 
 
 def runtime_snapshot() -> Dict:
-    """Snapshot the process-wide serialization caches in the shared shape."""
+    """Snapshot the process-wide serialization caches in the shared shape.
+
+    Every counter here lives in the obs metrics registry
+    (:mod:`repro.obs.metrics`) — the ``stats()`` views below are thin
+    reads over ``plan_cache.*`` / ``layout_cache.*`` / ``bufpool.*``
+    metrics — and the full registry rides along under ``"metrics"``, so
+    one ``BENCH_*.json`` carries both the legacy cache shape and
+    everything else the run recorded (fault counters, service metrics).
+    """
     from repro.common.bufpool import pool_stats
     from repro.formats.plans import plan_cache_stats
     from repro.jvm import layout_cache
+    from repro.obs.metrics import get_registry
 
     pool = pool_stats()
     plan = plan_cache_stats()
@@ -50,7 +59,31 @@ def runtime_snapshot() -> Dict:
         "layout_cache": layout,
         "arena_high_water_mark_bytes": pool["high_water_mark_bytes"],
         "buffer_pool": pool,
+        "metrics": get_registry().snapshot(),
     }
+
+
+def trace_json_path(results_dir: str, name: str) -> str:
+    return os.path.join(results_dir, f"TRACE_{name}.json")
+
+
+def emit_trace(results_dir: str, name: str, tracer, metadata=None) -> str:
+    """Validate and write ``TRACE_<name>.json`` (Chrome trace-event JSON).
+
+    The file loads directly in ``chrome://tracing`` / Perfetto; returns
+    the path. Raises :class:`ValueError` if the tracer's contents render
+    to a malformed document, so benches fail loudly rather than shipping
+    an unloadable trace.
+    """
+    from repro.obs.export import write_chrome_trace
+
+    os.makedirs(results_dir, exist_ok=True)
+    meta = {"bench": name}
+    if metadata:
+        meta.update(metadata)
+    return write_chrome_trace(
+        tracer, trace_json_path(results_dir, name), metadata=meta
+    )
 
 
 def bench_json_path(results_dir: str, name: str) -> str:

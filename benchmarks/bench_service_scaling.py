@@ -15,7 +15,13 @@ coalescing deadline. Emits the human table plus machine-readable
     amortizes per-dispatch overhead exactly where it matters.
 
 A small chaos run (accelerator capacity faults + bounded queue) rides
-along so shed/degrade counts also land in the JSON trajectory.
+along so shed/degrade counts also land in the JSON trajectory. The chaos
+run executes under an enabled tracer and exports ``TRACE_service.json``
+(Chrome trace-event format — open it in ``chrome://tracing`` or
+https://ui.perfetto.dev): request/queue/execute span trees, batch spans
+per shard, and fault instants. Two extra checks gate the export: the file
+must validate structurally, and p50/p99 recomputed from the exported
+request spans must match the SLO report to within 1 ns.
 
 Run standalone (CI smoke)::
 
@@ -39,9 +45,15 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_service_scaling.py`
     )
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _emit import emit_json, runtime_snapshot  # noqa: E402
+from _emit import emit_json, emit_trace, runtime_snapshot, trace_json_path  # noqa: E402
 from repro.analysis import ReportTable  # noqa: E402
 from repro.faults import FaultInjector, FaultPolicy  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Tracer,
+    exact_quantile,
+    set_tracer,
+    validate_chrome_trace,
+)
 from repro.service import (  # noqa: E402
     AdmissionConfig,
     PoissonWorkload,
@@ -139,7 +151,7 @@ def run_sweep(smoke: bool = False) -> Tuple[Dict, ReportTable]:
         "per dispatch"
     )
 
-    chaos = _chaos_run(catalog, mix, capacity, smoke)
+    chaos, tracer = _chaos_run(catalog, mix, capacity, smoke)
     payload = {
         "meta": {
             "seed": _SEED,
@@ -153,13 +165,18 @@ def run_sweep(smoke: bool = False) -> Tuple[Dict, ReportTable]:
         },
         "results": {"sweep": rows, "chaos": chaos},
     }
-    return payload, table
+    return payload, table, tracer
 
 
 def _chaos_run(
     catalog: ServiceCatalog, mix: RequestMix, capacity: float, smoke: bool
-) -> Dict:
-    """Overload + accelerator capacity faults: shed/degrade trajectory."""
+) -> Tuple[Dict, Tracer]:
+    """Overload + accelerator capacity faults: shed/degrade trajectory.
+
+    Runs with tracing enabled on a private tracer (installed process-wide
+    for the duration so fault instants land in it too); the caller exports
+    it as ``TRACE_service.json``.
+    """
     injector = FaultInjector(
         FaultPolicy(seed=_SEED, accelerator_fault_prob=0.05)
     )
@@ -175,10 +192,15 @@ def _chaos_run(
         seed=_SEED + 1,
         mix=mix,
     )
-    report = SerializationServer(catalog, config, injector=injector).run(
-        workload.generate(catalog)
-    )
-    return report.as_dict()
+    tracer = Tracer(enabled=True, capacity=1 << 18)
+    previous = set_tracer(tracer)
+    try:
+        report = SerializationServer(
+            catalog, config, injector=injector, tracer=tracer
+        ).run(workload.generate(catalog))
+    finally:
+        set_tracer(previous)
+    return report.as_dict(), tracer
 
 
 # -- trajectory checks --------------------------------------------------------------
@@ -267,10 +289,68 @@ def check_properties(payload: Dict) -> Dict[str, Dict]:
     return checks
 
 
-def _emit(payload: Dict, table: ReportTable, results_dir: str) -> Dict[str, Dict]:
+def trace_checks(payload: Dict, trace_path: str) -> Dict[str, Dict]:
+    """Gate the exported chaos trace: structure + SLO reconciliation."""
+    import json
+
+    checks: Dict[str, Dict] = {}
+    with open(trace_path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    try:
+        counts = validate_chrome_trace(document)
+        ok = counts["X"] > 0 and counts["M"] > 0
+        detail = f"event counts {counts}"
+    except ValueError as error:
+        ok, detail = False, str(error)
+    checks["trace_exports_and_validates"] = {"ok": ok, "detail": detail}
+
+    # Request spans in the exported JSON carry ts/dur in microseconds;
+    # re-derive latency quantiles and demand they match the SLO report to
+    # within 1 ns of simulated time.
+    chaos = payload["results"]["chaos"]
+    slo = chaos["latency_ns"]["all"]
+    completed = chaos["requests"]["completed"]
+    latencies = sorted(
+        event["dur"] * 1e3
+        for event in document["traceEvents"]
+        if event.get("ph") == "X" and event.get("name") == "request"
+    )
+    if len(latencies) != completed:
+        checks["trace_reconciles_slo"] = {
+            "ok": False,
+            "detail": (
+                f"{len(latencies)} request spans for {completed} "
+                f"completed requests"
+            ),
+        }
+        return checks
+    p50 = exact_quantile(latencies, 50.0)
+    p99 = exact_quantile(latencies, 99.0)
+    err50 = abs(p50 - slo["p50"])
+    err99 = abs(p99 - slo["p99"])
+    checks["trace_reconciles_slo"] = {
+        "ok": err50 <= 1.0 and err99 <= 1.0,
+        "detail": (
+            f"span-derived p50/p99 off by {err50:.3g}/{err99:.3g} ns "
+            f"over {completed} request spans"
+        ),
+    }
+    return checks
+
+
+def _emit(
+    payload: Dict, table: ReportTable, tracer: Tracer, results_dir: str
+) -> Dict[str, Dict]:
     table.show()
     table.save(results_dir, "service_scaling")
+    trace_path = emit_trace(
+        results_dir,
+        "service",
+        tracer,
+        metadata={"seed": _SEED, "run": "chaos"},
+    )
     checks = check_properties(payload)
+    checks.update(trace_checks(payload, trace_path))
     emit_json(
         results_dir,
         "service",
@@ -287,8 +367,8 @@ def _emit(payload: Dict, table: ReportTable, results_dir: str) -> Dict[str, Dict
 
 def test_service_scaling(benchmark, results_dir):
     def build():
-        payload, table = run_sweep(smoke=False)
-        return payload, _emit(payload, table, results_dir)
+        payload, table, tracer = run_sweep(smoke=False)
+        return payload, _emit(payload, table, tracer, results_dir)
 
     _, checks = benchmark.pedantic(build, rounds=1, iterations=1)
     for name, outcome in checks.items():
@@ -306,8 +386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--results-dir", default=_RESULTS_DIR)
     args = parser.parse_args(argv)
-    payload, table = run_sweep(smoke=args.smoke)
-    checks = _emit(payload, table, args.results_dir)
+    payload, table, tracer = run_sweep(smoke=args.smoke)
+    checks = _emit(payload, table, tracer, args.results_dir)
     failed = {name: c for name, c in checks.items() if not c["ok"]}
     for name, outcome in checks.items():
         status = "ok" if outcome["ok"] else "FAIL"
@@ -316,6 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{len(failed)} check(s) failed", file=sys.stderr)
         return 1
     print(f"BENCH_service.json written under {args.results_dir}")
+    print(f"TRACE_service.json written to {trace_json_path(args.results_dir, 'service')}")
     return 0
 
 

@@ -50,6 +50,7 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_wallclock.py`
 
 from _emit import emit_json, runtime_snapshot  # noqa: E402
 from repro.common.bufpool import pool_stats, reset_pool  # noqa: E402
+from repro.obs import Tracer, get_registry, set_tracer  # noqa: E402
 from repro.formats import (  # noqa: E402
     CerealSerializer,
     ClassRegistration,
@@ -76,6 +77,7 @@ _SPEEDUP_FLOOR = 3.0  # tentpole: fast packing round trip must stay >= 3x
 _PLAN_SPEEDUP_FLOOR = 2.0  # compiled-plan serialize must stay >= 2x where gated
 _PLAN_GATED_FORMATS = ("java", "kryo")  # cereal's interpreter is already bulk
 _REGRESSION_TOLERANCE = 0.20  # ratios may drift 20% below baseline, no more
+_OBS_OVERHEAD_BUDGET = 1.05  # obs-instrumented serialize <= 1.05x uninstrumented
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _RESULTS_DIR = os.path.join(_HERE, "results")
@@ -278,6 +280,70 @@ def bench_plans(smoke: bool) -> Dict[str, object]:
     }
 
 
+# ---------------------------------------------------------------- obs overhead
+
+
+def bench_obs(smoke: bool) -> Dict[str, object]:
+    """Cost of the observability layer on the serialize hot path.
+
+    ``obs_off`` is the production default — tracer disabled, registry
+    histograms disabled — where every obs hook is one attribute check.
+    ``obs_on`` runs the same serialize under an enabled tracer with a
+    per-call span plus a per-call latency histogram observation, i.e. the
+    full instrumentation a traced run pays. Because the disabled hooks do
+    a strict subset of the enabled work, gating the *enabled* ratio under
+    the 5% budget (``obs_overhead_budget``) bounds the disabled-mode cost
+    on the serialize MB/s ratios by the same margin; the ratio also lands
+    in ``wallclock_baseline.json`` like every other gated ratio.
+    """
+    heap, root, registration = _build_payload(smoke)
+    serializer = CerealSerializer(registration)
+    serializer.serialize(root)  # warm plans, layout cache, arenas
+    repeats = 9 if smoke else 11
+    calls = 4  # serializes per timed sample
+    registry = get_registry()
+    tracer = Tracer(enabled=True, capacity=1 << 14)
+    latency = registry.histogram("bench.serialize_wall_ns")
+
+    def plain() -> None:
+        for _ in range(calls):
+            serializer.serialize(root)
+
+    def traced() -> None:
+        for _ in range(calls):
+            with tracer.span("bench.serialize", category="bench"):
+                begin = time.perf_counter_ns()
+                serializer.serialize(root)
+                latency.observe(time.perf_counter_ns() - begin)
+
+    # Interleave the two variants sample-by-sample so CPU frequency drift
+    # hits both equally — back-to-back blocks can skew a 1% effect by 5%.
+    off_s = on_s = float("inf")
+    previous = set_tracer(tracer)
+    try:
+        for _ in range(repeats):
+            registry.disable()
+            begin = time.perf_counter()
+            plain()
+            off_s = min(off_s, time.perf_counter() - begin)
+            registry.enable()
+            begin = time.perf_counter()
+            traced()
+            on_s = min(on_s, time.perf_counter() - begin)
+    finally:
+        registry.enable()
+        set_tracer(previous)
+    ratio = on_s / off_s
+    return {
+        "obs_off_sec": _round(off_s),
+        "obs_on_sec": _round(on_s),
+        "overhead_ratio": _round(ratio),
+        "disabled_vs_enabled_speedup": _round(1.0 / ratio),
+        "spans_recorded": tracer.spans_recorded,
+        "latency_observations": latency.count,
+    }
+
+
 # ---------------------------------------------------------------- service layer
 
 
@@ -328,6 +394,7 @@ def load_baseline() -> Dict[str, Dict[str, float]]:
 def evaluate_checks(
     packing_results: Dict[str, object],
     plan_results: Dict[str, object],
+    obs_results: Dict[str, object],
     baseline: Optional[Dict[str, float]],
 ) -> Dict[str, Dict[str, object]]:
     checks: Dict[str, Dict[str, object]] = {}
@@ -365,6 +432,15 @@ def evaluate_checks(
             f"{cache['entries']} entries"
         ),
     }
+    overhead = float(obs_results["overhead_ratio"])  # type: ignore[arg-type]
+    checks["obs_overhead_budget"] = {
+        "ok": overhead <= _OBS_OVERHEAD_BUDGET,
+        "detail": (
+            f"obs-instrumented serialize {overhead:.3f}x the uninstrumented "
+            f"time (budget {_OBS_OVERHEAD_BUDGET:.2f}x; disabled hooks are a "
+            f"strict subset of this cost)"
+        ),
+    }
     if baseline is None:
         checks["baseline_regression"] = {
             "ok": True,
@@ -378,6 +454,9 @@ def evaluate_checks(
     }
     for name in _PLAN_GATED_FORMATS:
         measurements[f"plan_serialize_speedup_{name}"] = gated[name]
+    measurements["obs_disabled_vs_enabled_speedup"] = float(
+        obs_results["disabled_vs_enabled_speedup"]  # type: ignore[arg-type]
+    )
     for metric, measured in measurements.items():
         reference = baseline.get(metric)
         if reference is None:
@@ -404,6 +483,7 @@ def run(smoke: bool = False, update_baseline: bool = False) -> bool:
     packing_results = bench_packing(smoke)
     format_results = bench_formats(smoke)
     plan_results = bench_plans(smoke)
+    obs_results = bench_obs(smoke)
     service_results = bench_service(smoke)
 
     plan_formats = plan_results["formats"]
@@ -413,6 +493,9 @@ def run(smoke: bool = False, update_baseline: bool = False) -> bool:
         baseline = {
             "packing_speedup": packing_results["packing_speedup"],
             "bitmap_speedup": packing_results["bitmap_speedup"],
+            "obs_disabled_vs_enabled_speedup": obs_results[
+                "disabled_vs_enabled_speedup"
+            ],
         }
         for name in _PLAN_GATED_FORMATS:
             baseline[f"plan_serialize_speedup_{name}"] = plan_formats[name][
@@ -424,7 +507,7 @@ def run(smoke: bool = False, update_baseline: bool = False) -> bool:
             handle.write("\n")
         print(f"baseline updated ({mode}): {_BASELINE_PATH}")
     checks = evaluate_checks(
-        packing_results, plan_results, load_baseline().get(mode)
+        packing_results, plan_results, obs_results, load_baseline().get(mode)
     )
 
     emit_json(
@@ -434,6 +517,7 @@ def run(smoke: bool = False, update_baseline: bool = False) -> bool:
             "packing": packing_results,
             "formats": format_results,
             "plans": plan_results,
+            "obs": obs_results,
             "service": service_results,
         },
         meta={
@@ -472,6 +556,11 @@ def run(smoke: bool = False, update_baseline: bool = False) -> bool:
         f"  plan cache: {cache['hit_rate']:.1%} hit rate, "
         f"{cache['entries']} entries; arena high water "
         f"{plan_results['buffer_pool']['high_water_mark_bytes']} B"
+    )
+    print(
+        f"  obs: instrumented serialize {obs_results['overhead_ratio']}x "
+        f"uninstrumented ({obs_results['spans_recorded']} spans, "
+        f"{obs_results['latency_observations']} observations)"
     )
     print(
         f"  service: {service_results['sim_seconds_per_wall_second']} "

@@ -12,6 +12,8 @@ import math
 import os
 from typing import List, Optional, Sequence
 
+from repro.obs.metrics import exact_quantile
+
 
 def geomean(values: Sequence[float]) -> float:
     """Geometric mean (the paper's aggregate for speedups)."""
@@ -28,21 +30,18 @@ def format_speedup(value: float) -> str:
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile of ``values`` (``q`` in [0, 100]).
 
-    The tail-latency summaries (p50/p95/p99/p999) all route through this
-    one definition so every report agrees on what "p99" means.
+    A thin wrapper over :func:`repro.obs.metrics.exact_quantile` — the one
+    quantile definition the SLO summaries, the obs histograms, and the
+    trace exports all share, so every report agrees on what "p99" means.
+    Edge cases are exact: an empty series raises a clear
+    :class:`ValueError`, a single sample is returned unchanged, and
+    ``q == 0`` / ``q == 100`` give the true min / max.
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
     if not values:
         raise ValueError("cannot take a percentile of no samples")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * (q / 100.0)
-    low = math.floor(rank)
-    high = min(low + 1, len(ordered) - 1)
-    fraction = rank - low
-    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+    return exact_quantile(sorted(values), q)
 
 
 class ReportTable:

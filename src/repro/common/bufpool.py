@@ -18,6 +18,11 @@ returns the arena and records the high-water mark — the largest buffer
 the process ever filled — which the benchmarks surface next to the
 plan-cache hit rate.
 
+The counters live in a :class:`repro.obs.metrics.MetricsRegistry` —
+the process-wide one for :data:`GLOBAL_POOL` (metric names
+``bufpool.*``), a private registry per standalone pool so test instances
+never bleed into each other — and ``stats()`` is a thin view over them.
+
 The process-wide pool is deliberately tiny (a handful of arenas): one
 serialize is single-threaded and the service layer runs operations
 back-to-back, so deep pools only pin memory.
@@ -25,39 +30,66 @@ back-to-back, so deep pools only pin memory.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 
 class BufferPool:
     """A bounded free list of reusable ``bytearray`` arenas with stats."""
 
-    def __init__(self, max_arenas: int = 8):
+    def __init__(
+        self,
+        max_arenas: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "bufpool",
+    ):
         if max_arenas <= 0:
             raise ValueError(f"max_arenas must be positive, got {max_arenas}")
         self.max_arenas = max_arenas
         self._free: List[bytearray] = []
-        self.acquires = 0
-        self.reuses = 0
-        self.releases = 0
-        self.high_water_mark = 0  # largest buffer length seen at release
+        metrics = registry if registry is not None else MetricsRegistry()
+        self._acquires = metrics.counter(f"{prefix}.acquires")
+        self._reuses = metrics.counter(f"{prefix}.reuses")
+        self._releases = metrics.counter(f"{prefix}.releases")
+        self._high_water = metrics.gauge(f"{prefix}.high_water_mark_bytes")
+        self._pooled = metrics.gauge(f"{prefix}.pooled_arenas")
+
+    @property
+    def acquires(self) -> int:
+        return self._acquires.value
+
+    @property
+    def reuses(self) -> int:
+        return self._reuses.value
+
+    @property
+    def releases(self) -> int:
+        return self._releases.value
+
+    @property
+    def high_water_mark(self) -> int:
+        """Largest buffer length seen at release."""
+        return int(self._high_water.value)
 
     def acquire(self) -> bytearray:
         """A cleared arena; reuses a pooled one when available."""
-        self.acquires += 1
+        self._acquires.inc()
         if self._free:
-            self.reuses += 1
+            self._reuses.inc()
             arena = self._free.pop()
+            self._pooled.set(len(self._free))
             del arena[:]  # clear contents, keep the grown allocation
             return arena
         return bytearray()
 
     def release(self, arena: bytearray) -> None:
         """Return ``arena`` to the pool (dropped if the pool is full)."""
-        self.releases += 1
-        if len(arena) > self.high_water_mark:
-            self.high_water_mark = len(arena)
+        self._releases.inc()
+        self._high_water.set_max(len(arena))
         if len(self._free) < self.max_arenas:
             self._free.append(arena)
+            self._pooled.set(len(self._free))
 
     @property
     def reuse_rate(self) -> float:
@@ -79,17 +111,19 @@ class BufferPool:
     def reset(self) -> None:
         """Drop pooled arenas and zero the counters (tests)."""
         self._free.clear()
-        self.acquires = 0
-        self.reuses = 0
-        self.releases = 0
-        self.high_water_mark = 0
+        self._acquires.reset()
+        self._reuses.reset()
+        self._releases.reset()
+        self._high_water.reset()
+        self._pooled.reset()
 
     def __len__(self) -> int:
         return len(self._free)
 
 
-#: The process-wide pool every serializer and plan kernel shares.
-GLOBAL_POOL = BufferPool()
+#: The process-wide pool every serializer and plan kernel shares; its
+#: counters land in the process-wide metrics registry as ``bufpool.*``.
+GLOBAL_POOL = BufferPool(registry=get_registry())
 
 
 def acquire_buffer() -> bytearray:

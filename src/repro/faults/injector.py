@@ -7,6 +7,11 @@ splitmix64 finalizer over those three inputs — no global RNG state, so
 interleaving decisions across channels cannot perturb each other, and two
 runs that perform the same operations in the same order inject byte-
 identical fault schedules.
+
+Fired decisions additionally land as instant events on the process-wide
+tracer (track ``faults``), so a Chrome-trace export of a chaos run shows
+exactly where in simulated time each fault hit. Quiet decisions (the
+overwhelmingly common case) never touch the tracer.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Dict, Optional
 
 from repro.faults.policy import FaultPolicy
 from repro.faults.report import FaultReport
+from repro.obs.trace import get_tracer
 
 _MASK64 = (1 << 64) - 1
 _TWO64 = float(1 << 64)
@@ -78,12 +84,15 @@ class FaultInjector:
             return None
         draw = self.draw(f"transfer.{site}")
         if draw < policy.corruption_prob:
-            return FAULT_CORRUPT
-        if draw < policy.corruption_prob + policy.drop_prob:
-            return FAULT_DROP
-        if draw < policy.transfer_fault_prob:
-            return FAULT_LATENCY
-        return None
+            fault = FAULT_CORRUPT
+        elif draw < policy.corruption_prob + policy.drop_prob:
+            fault = FAULT_DROP
+        elif draw < policy.transfer_fault_prob:
+            fault = FAULT_LATENCY
+        else:
+            return None
+        self._mark("fault.transfer", site=site, kind=fault)
+        return fault
 
     def corrupt_bytes(self, data: bytes, site: str) -> bytes:
         """Deterministically damage ``data``: truncate or flip one byte."""
@@ -103,22 +112,35 @@ class FaultInjector:
         """Does the executor holding the just-produced map output die?"""
         if self.policy.executor_loss_prob <= 0.0:
             return False
-        return self.draw("executor") < self.policy.executor_loss_prob
+        lost = self.draw("executor") < self.policy.executor_loss_prob
+        if lost:
+            self._mark("fault.executor")
+        return lost
 
     def accelerator_fault(self, kind: str) -> bool:
         """Does the accelerator overflow a fixed structure on this op?"""
         if self.policy.accelerator_fault_prob <= 0.0:
             return False
-        return (
+        fired = (
             self.draw(f"accelerator.{kind}")
             < self.policy.accelerator_fault_prob
         )
+        if fired:
+            self._mark("fault.accelerator", kind=kind)
+        return fired
 
     def heap_exhausted(self, site: str) -> bool:
         """Does this deserialization hit an exhausted destination heap?"""
         if self.policy.heap_exhaustion_prob <= 0.0:
             return False
-        return self.draw(f"heap.{site}") < self.policy.heap_exhaustion_prob
+        fired = self.draw(f"heap.{site}") < self.policy.heap_exhaustion_prob
+        if fired:
+            self._mark("fault.heap", site=site)
+        return fired
+
+    def _mark(self, name: str, **attrs) -> None:
+        """Drop an instant event on the faults track (no-op when disabled)."""
+        get_tracer().instant(name, category="fault", track="faults", **attrs)
 
     def jitter(self, site: str) -> float:
         """Uniform draw feeding retry-backoff jitter (seeded like faults)."""

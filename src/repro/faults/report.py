@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.obs.metrics import get_registry
+
 #: Canonical layer names, in reporting order.
 LAYERS = ("transfer", "executor", "accelerator", "heap")
 
@@ -51,18 +53,25 @@ class FaultReport:
         return self.layers[name]
 
     # -- recording ----------------------------------------------------------------
+    # Each record_* also bumps the process-wide ``faults.<counter>`` metric
+    # labeled by layer, so registry snapshots see fault activity without
+    # holding a reference to this (per-run) report.
 
     def record_injected(self, layer: str, count: int = 1) -> None:
         self.layer(layer).injected += count
+        get_registry().counter("faults.injected", layer=layer).inc(count)
 
     def record_detected(self, layer: str, count: int = 1) -> None:
         self.layer(layer).detected += count
+        get_registry().counter("faults.detected", layer=layer).inc(count)
 
     def record_recovered(self, layer: str, count: int = 1) -> None:
         self.layer(layer).recovered += count
+        get_registry().counter("faults.recovered", layer=layer).inc(count)
 
     def record_fallback(self, layer: str, count: int = 1) -> None:
         self.layer(layer).fallbacks += count
+        get_registry().counter("faults.fallbacks", layer=layer).inc(count)
 
     # -- aggregation ---------------------------------------------------------------
 

@@ -55,6 +55,7 @@ from typing import Dict, List, Tuple
 from repro.common.errors import FormatError
 from repro.jvm.klass import ArrayKlass, FieldKind, InstanceKlass, Klass
 from repro.jvm.layout_cache import layout_of
+from repro.obs.metrics import get_registry
 
 # -- encode opcodes ---------------------------------------------------------------
 OP_COPY = 0    # (start, end): image bytes copied verbatim to the stream
@@ -249,9 +250,12 @@ _PLANS: Dict[Tuple, object] = {}
 _FINGERPRINTS: Dict[Klass, str] = {}
 _BITMAP_REFS: Dict[Tuple[int, int], Tuple[int, ...]] = {}
 
-_HITS = 0
-_MISSES = 0
-_EVICTIONS = 0
+# Recorded in the process-wide metrics registry as ``plan_cache.*``;
+# ``plan_cache_stats()`` below is a thin view over these handles.
+_HITS = get_registry().counter("plan_cache.hits")
+_MISSES = get_registry().counter("plan_cache.misses")
+_EVICTIONS = get_registry().counter("plan_cache.evictions")
+_ENTRIES = get_registry().gauge("plan_cache.entries")
 
 
 def klass_fingerprint(klass: Klass) -> str:
@@ -283,15 +287,14 @@ def plan_for(format_name: str, klass: Klass, header_slots: int, length: int = 0)
     ``length`` only differentiates Cereal plans (their layout bitmap is
     per-length); the Java/Kryo array plans are length-independent.
     """
-    global _HITS, _MISSES, _EVICTIONS
     if klass.is_array and format_name != "cereal":
         length = -1
     key = (format_name, klass_fingerprint(klass), header_slots, length)
     plan = _PLANS.get(key)
     if plan is not None:
-        _HITS += 1
+        _HITS.value += 1  # direct bump: this is the per-object hot path
         return plan
-    _MISSES += 1
+    _MISSES.inc()
     if format_name == "java-builtin":
         plan = _compile_java(klass, header_slots)
     elif format_name == "kryo":
@@ -302,8 +305,9 @@ def plan_for(format_name: str, klass: Klass, header_slots: int, length: int = 0)
         raise FormatError(f"no plan compiler for format {format_name!r}")
     if len(_PLANS) >= _MAX_ENTRIES:
         _PLANS.clear()
-        _EVICTIONS += 1
+        _EVICTIONS.inc()
     _PLANS[key] = plan
+    _ENTRIES.set(len(_PLANS) + len(_BITMAP_REFS))
     return plan
 
 
@@ -314,13 +318,12 @@ def bitmap_reference_slots(bitmap_word: int, bitmap_width: int) -> Tuple[int, ..
     the bitmap; repeated shapes reuse the classification instead of
     re-shifting per slot.
     """
-    global _HITS, _MISSES, _EVICTIONS
     key = (bitmap_word, bitmap_width)
     slots = _BITMAP_REFS.get(key)
     if slots is not None:
-        _HITS += 1
+        _HITS.value += 1  # direct bump: this is the per-object hot path
         return slots
-    _MISSES += 1
+    _MISSES.inc()
     slots = tuple(
         slot
         for slot in range(bitmap_width)
@@ -328,32 +331,37 @@ def bitmap_reference_slots(bitmap_word: int, bitmap_width: int) -> Tuple[int, ..
     )
     if len(_BITMAP_REFS) >= _MAX_ENTRIES:
         _BITMAP_REFS.clear()
-        _EVICTIONS += 1
+        _EVICTIONS.inc()
     _BITMAP_REFS[key] = slots
+    _ENTRIES.set(len(_PLANS) + len(_BITMAP_REFS))
     return slots
 
 
 def plan_cache_stats() -> Dict[str, object]:
-    """Hit/miss/eviction counters plus hit rate for reports and gates."""
-    probes = _HITS + _MISSES
+    """Hit/miss/eviction counters plus hit rate for reports and gates.
+
+    A thin view over the ``plan_cache.*`` metrics in the process-wide
+    registry (:mod:`repro.obs.metrics`)."""
+    hits, misses = _HITS.value, _MISSES.value
+    probes = hits + misses
     return {
-        "hits": _HITS,
-        "misses": _MISSES,
-        "evictions": _EVICTIONS,
+        "hits": hits,
+        "misses": misses,
+        "evictions": _EVICTIONS.value,
         "entries": len(_PLANS) + len(_BITMAP_REFS),
-        "hit_rate": round(_HITS / probes, 4) if probes else 0.0,
+        "hit_rate": round(hits / probes, 4) if probes else 0.0,
     }
 
 
 def reset_plan_cache() -> None:
     """Drop compiled plans and zero the counters (tests, benchmarks)."""
-    global _HITS, _MISSES, _EVICTIONS
     _PLANS.clear()
     _BITMAP_REFS.clear()
     _FINGERPRINTS.clear()
-    _HITS = 0
-    _MISSES = 0
-    _EVICTIONS = 0
+    _HITS.reset()
+    _MISSES.reset()
+    _EVICTIONS.reset()
+    _ENTRIES.reset()
 
 
 # -- shared compile helpers ---------------------------------------------------------

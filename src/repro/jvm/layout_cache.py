@@ -23,18 +23,21 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Tuple
 
 from repro.jvm.klass import Klass
+from repro.obs.metrics import get_registry
 
 # Regenerable cache; the cap only guards against pathological workloads
 # that allocate arrays of unboundedly many distinct lengths.
 _MAX_ENTRIES = 1 << 16
 _CACHE: Dict[Tuple[Klass, int, int], "KlassLayout"] = {}
 
-# Hit/miss/eviction counters for benchmarks and SLO reports. An
-# "eviction" is a full clear at the entry cap (the cache is regenerable,
-# so wholesale invalidation is cheaper than tracking recency).
-_HITS = 0
-_MISSES = 0
-_EVICTIONS = 0
+# Hit/miss/eviction counters for benchmarks and SLO reports, recorded in
+# the process-wide metrics registry (``layout_cache.*``). An "eviction"
+# is a full clear at the entry cap (the cache is regenerable, so
+# wholesale invalidation is cheaper than tracking recency).
+_HITS = get_registry().counter("layout_cache.hits")
+_MISSES = get_registry().counter("layout_cache.misses")
+_EVICTIONS = get_registry().counter("layout_cache.evictions")
+_ENTRIES = get_registry().gauge("layout_cache.entries")
 
 
 @dataclass(frozen=True)
@@ -58,13 +61,12 @@ class KlassLayout:
 
 def layout_of(klass: Klass, header_slots: int, length: int = 0) -> KlassLayout:
     """The memoized layout for ``klass`` under a given header geometry."""
-    global _HITS, _MISSES
     key = (klass, header_slots, length)
     layout = _CACHE.get(key)
     if layout is not None:
-        _HITS += 1
+        _HITS.value += 1  # direct bump: this is the per-object hot path
         return layout
-    _MISSES += 1
+    _MISSES.inc()
 
     field_slots = klass.instance_slots(length)
     total_slots = header_slots + field_slots
@@ -83,21 +85,21 @@ def layout_of(klass: Klass, header_slots: int, length: int = 0) -> KlassLayout:
         image_struct=struct.Struct(f"<{total_slots}Q"),
     )
     if len(_CACHE) >= _MAX_ENTRIES:
-        global _EVICTIONS
         _CACHE.clear()
-        _EVICTIONS += 1
+        _EVICTIONS.inc()
     _CACHE[key] = layout
+    _ENTRIES.set(len(_CACHE))
     return layout
 
 
 def clear_layout_cache(reset_stats: bool = False) -> None:
     """Drop all memoized layouts (tests, klass-mutation scenarios)."""
-    global _HITS, _MISSES, _EVICTIONS
     _CACHE.clear()
+    _ENTRIES.set(0)
     if reset_stats:
-        _HITS = 0
-        _MISSES = 0
-        _EVICTIONS = 0
+        _HITS.reset()
+        _MISSES.reset()
+        _EVICTIONS.reset()
 
 
 def cache_size() -> int:
@@ -105,12 +107,16 @@ def cache_size() -> int:
 
 
 def stats() -> Dict[str, object]:
-    """Hit/miss/eviction counters plus derived hit rate."""
-    probes = _HITS + _MISSES
+    """Hit/miss/eviction counters plus derived hit rate.
+
+    A thin view over the ``layout_cache.*`` metrics in the process-wide
+    registry (:mod:`repro.obs.metrics`)."""
+    hits, misses = _HITS.value, _MISSES.value
+    probes = hits + misses
     return {
-        "hits": _HITS,
-        "misses": _MISSES,
-        "evictions": _EVICTIONS,
+        "hits": hits,
+        "misses": misses,
+        "evictions": _EVICTIONS.value,
         "entries": len(_CACHE),
-        "hit_rate": round(_HITS / probes, 4) if probes else 0.0,
+        "hit_rate": round(hits / probes, 4) if probes else 0.0,
     }

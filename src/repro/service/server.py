@@ -41,6 +41,7 @@ from repro.formats.plans import plan_cache_stats
 from repro.formats.verify import graphs_equivalent
 from repro.jvm.heap import Heap
 from repro.jvm.layout_cache import stats as layout_cache_stats
+from repro.obs.trace import Tracer, get_tracer
 from repro.service.admission import (
     DECISION_DEGRADE,
     DECISION_SHED,
@@ -190,7 +191,12 @@ class AcceleratorShard:
     # -- device engine -------------------------------------------------------------------
 
     def service_device(
-        self, batch: Batch, now_ns: float, overhead_ns: float
+        self,
+        batch: Batch,
+        now_ns: float,
+        overhead_ns: float,
+        tracer: Optional[Tracer] = None,
+        parent=None,
     ) -> List[Tuple[ServiceRequest, float]]:
         """Run the batch through the real device simulator.
 
@@ -203,6 +209,11 @@ class AcceleratorShard:
         kinds and catalog entries it contains) and the device configs, so
         repeated compositions replay the first verified execution's
         timeline from an LRU instead of re-running the simulator.
+
+        When ``tracer`` is enabled, a fresh simulator run emits per-unit
+        child spans under ``parent`` on this shard's track; cached replays
+        only retain request finish times, so unit activity appears in the
+        trace the first time a batch composition executes.
         """
         start = max(now_ns, self.busy_until) + overhead_ns
         cache_key = (
@@ -231,6 +242,13 @@ class AcceleratorShard:
                     ("deserialize", request.entry.stream, receiver)
                 )
         run = self.simulator.run(device_requests)
+        if tracer is not None and tracer.enabled:
+            run.emit_spans(
+                tracer,
+                base_ns=start,
+                parent=parent,
+                track=f"shard{self.shard_id}",
+            )
         self.busy_until = start + run.wall_time_ns
         finishes = []
         for request, op in zip(batch.requests, run.operations):
@@ -277,10 +295,16 @@ class SerializationServer:
         catalog: ServiceCatalog,
         config: Optional[ServiceConfig] = None,
         injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.catalog = catalog
         self.config = config or ServiceConfig()
         self.injector = injector
+        # The tracer is sampled per-server (not per-call) so one chaos run
+        # can direct its spans at a private tracer without touching the
+        # process-wide one. Disabled (the default) every hook below is a
+        # single attribute check.
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.shards = [
             AcceleratorShard(
                 shard_id,
@@ -388,6 +412,7 @@ class SerializationServer:
         """Send one closed batch to a shard (or degrade it); returns
         ``(finish_ns, request_id)`` completion markers."""
         completions: List[Tuple[float, int]] = []
+        tracer = self.tracer
         faulted = (
             self.injector is not None
             and self.injector.accelerator_fault(f"service.{batch.kind}")
@@ -406,16 +431,49 @@ class SerializationServer:
                 record = self._records[request.request_id]
                 self._serve_software(request, now_ns, record, batch=batch)
                 completions.append((record.finish_ns, request.request_id))
+            if tracer.enabled and completions:
+                tracer.record_span(
+                    "batch.degrade",
+                    now_ns,
+                    max(f for f, _ in completions),
+                    category="batch",
+                    track="software",
+                    batch_id=batch.batch_id,
+                    kind=batch.kind,
+                    size=batch.size,
+                )
             return completions
         shard = self._route(batch, now_ns)
+        # The batch span is recorded up front (so device unit spans can
+        # parent on it) and closed once the last finish time is known —
+        # spans are records, not live handles, so patching end_ns is safe.
+        batch_span = None
+        if tracer.enabled:
+            batch_span = tracer.record_span(
+                "batch.execute",
+                now_ns,
+                now_ns,
+                category="batch",
+                track=f"shard{shard.shard_id}",
+                batch_id=batch.batch_id,
+                kind=batch.kind,
+                size=batch.size,
+                engine=self.config.engine,
+            )
         if self.config.engine == "device":
             finishes = shard.service_device(
-                batch, now_ns, self.config.dispatch_overhead_ns
+                batch,
+                now_ns,
+                self.config.dispatch_overhead_ns,
+                tracer=tracer,
+                parent=batch_span,
             )
         else:
             finishes = shard.service_analytic(
                 batch, now_ns, self.config.dispatch_overhead_ns
             )
+        if batch_span is not None and finishes:
+            batch_span.end_ns = max(f for _, f in finishes)
         for request, finish in finishes:
             record = self._records[request.request_id]
             record.dispatch_ns = now_ns
@@ -428,6 +486,68 @@ class SerializationServer:
             if self.config.engine != "device" and self._should_verify():
                 self._verify(request, BACKEND_CEREAL)
         return completions
+
+    # -- tracing ------------------------------------------------------------------------------
+
+    def _emit_request_spans(self, requests: Sequence[ServiceRequest]) -> None:
+        """Retrospectively record one span tree per completed request.
+
+        The event loop learns a request's finish time the moment its batch
+        dispatches (virtual time runs ahead of completion), so request
+        spans are emitted from the finished records rather than around live
+        code. Each completed request becomes a ``request`` span
+        (arrival → finish) on the ``requests`` track with ``queue``
+        (arrival → dispatch, the admission + coalescing wait) and
+        ``execute`` (dispatch → finish) children; shed requests leave an
+        instant marker instead. The span durations *are* the record's
+        latency decomposition, which is what lets the reconciliation test
+        re-derive the SLO percentiles from the exported trace exactly.
+        """
+        tracer = self.tracer
+        for request in requests:
+            record = self._records[request.request_id]
+            if not record.completed:
+                tracer.instant(
+                    "request.shed",
+                    ts_ns=record.arrival_ns,
+                    category="request",
+                    track="requests",
+                    request_id=record.request_id,
+                )
+                continue
+            parent = tracer.record_span(
+                "request",
+                record.arrival_ns,
+                record.finish_ns,
+                category="request",
+                track="requests",
+                request_id=record.request_id,
+                kind=record.kind,
+                size_class=record.size_class,
+                outcome=record.outcome,
+                backend=record.backend,
+                batch_id=record.batch_id,
+                batch_size=record.batch_size,
+            )
+            tracer.record_span(
+                "request.queue",
+                record.arrival_ns,
+                record.dispatch_ns,
+                category="request",
+                track="requests",
+                parent=parent,
+                request_id=record.request_id,
+            )
+            tracer.record_span(
+                "request.execute",
+                record.dispatch_ns,
+                record.finish_ns,
+                category="request",
+                track="requests",
+                parent=parent,
+                request_id=record.request_id,
+                backend=record.backend,
+            )
 
     # -- the event loop ----------------------------------------------------------------------
 
@@ -462,8 +582,10 @@ class SerializationServer:
             for finish, _ in completions:
                 heapq.heappush(inflight, finish)
 
+        tracer = self.tracer
         while events:
             now_ns, _, etype, payload = heapq.heappop(events)
+            tracer.advance(now_ns)
             drain(now_ns)
             if etype == "arrival":
                 request = payload
@@ -505,6 +627,8 @@ class SerializationServer:
         for batch in self.coalescer.flush_all(last):
             self._dispatch(batch, last)
 
+        if tracer.enabled:
+            self._emit_request_spans(requests)
         report = SLOReport(
             records=[self._records[r.request_id] for r in requests],
             fault_report=self.injector.report if self.injector else None,

@@ -25,6 +25,7 @@ S/D code: user numeric kernels pipeline well.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -33,6 +34,7 @@ from repro.faults.injector import FaultInjector
 from repro.formats.base import SerializedStream
 from repro.jvm.heap import Heap, HeapObject
 from repro.jvm.klass import FieldKind, KlassRegistry
+from repro.obs.trace import Tracer, get_tracer
 from repro.spark.backend import SDBackend
 from repro.spark.metrics import TimeBreakdown
 from repro.spark.transfer import ResilientTransfer, RetryPolicy
@@ -56,6 +58,7 @@ class MiniSparkContext:
         injector: Optional[FaultInjector] = None,
         frame_streams: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.backend = backend
         self.registry = registry if registry is not None else KlassRegistry()
@@ -64,12 +67,35 @@ class MiniSparkContext:
         self.breakdown = TimeBreakdown()
         self._last_alloc_mark = 0
         self.injector = injector
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.transfer = ResilientTransfer(
             self.breakdown,
             injector=injector,
             retry=retry_policy,
             frame_streams=frame_streams,
         )
+
+    # -- tracing ---------------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str, **attrs):
+        """A spark-stage span whose clock is the time ledger.
+
+        The ledger (``breakdown.total_ns``) only moves when operations are
+        accounted, so the span's simulated bounds are the ledger totals at
+        stage entry and exit — nested stages (map side inside a shuffle)
+        nest in the trace exactly as the ``with`` blocks nest here.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            yield None
+            return
+        tracer.advance(self.breakdown.total_ns)
+        with tracer.span(name, category="spark", track="spark", **attrs) as span:
+            try:
+                yield span
+            finally:
+                tracer.advance(self.breakdown.total_ns)
 
     # -- time accounting -------------------------------------------------------------
 
@@ -142,17 +168,18 @@ class MiniSparkContext:
         """Driver -> executors broadcast (e.g. the model weights each
         iteration): serialize once at the driver, deserialize once per
         executor partition. Returns the per-partition replicas."""
-        stream, op = self.backend.serialize(root, "broadcast")
-        self.breakdown.add_operation(op)
-        replicas = []
-        for _ in range(num_partitions):
-            delivered = self.transfer.deliver(stream, "broadcast")
-            replica, read_op = self.backend.deserialize(
-                delivered, self.executor_heap, "broadcast"
-            )
-            self.breakdown.add_operation(read_op)
-            replicas.append(replica)
-        self._account_gc()
+        with self.stage("spark.broadcast", partitions=num_partitions):
+            stream, op = self.backend.serialize(root, "broadcast")
+            self.breakdown.add_operation(op)
+            replicas = []
+            for _ in range(num_partitions):
+                delivered = self.transfer.deliver(stream, "broadcast")
+                replica, read_op = self.backend.deserialize(
+                    delivered, self.executor_heap, "broadcast"
+                )
+                self.breakdown.add_operation(read_op)
+                replicas.append(replica)
+            self._account_gc()
         return replicas
 
     def parallelize(
@@ -255,31 +282,44 @@ class PartitionedDataset:
         lineage-based stage recovery, bounded by the retry policy.
         """
         num_partitions = num_partitions or self.num_partitions
-        buckets: Dict[int, List[SerializedStream]] = {
-            target: [] for target in range(num_partitions)
-        }
-        for partition in self.partitions:
-            grouped: Dict[int, List[HeapObject]] = {}
-            for record in partition:
-                target = key_fn(record) % num_partitions
-                grouped.setdefault(target, []).append(record)
-            self.context.account_compute(instructions_per_record * len(partition))
-            for target, records in grouped.items():
-                stream = self.context.serialize_bucket(records, site="shuffle")
-                stream = self._recover_lost_bucket(
-                    stream, records, instructions_per_record
-                )
-                buckets[target].append(stream)
+        with self.context.stage(
+            "spark.shuffle", partitions=num_partitions, records=self.record_count
+        ):
+            buckets: Dict[int, List[SerializedStream]] = {
+                target: [] for target in range(num_partitions)
+            }
+            with self.context.stage("shuffle.map"):
+                for partition in self.partitions:
+                    grouped: Dict[int, List[HeapObject]] = {}
+                    for record in partition:
+                        target = key_fn(record) % num_partitions
+                        grouped.setdefault(target, []).append(record)
+                    self.context.account_compute(
+                        instructions_per_record * len(partition)
+                    )
+                    for target, records in grouped.items():
+                        stream = self.context.serialize_bucket(
+                            records, site="shuffle"
+                        )
+                        stream = self._recover_lost_bucket(
+                            stream, records, instructions_per_record
+                        )
+                        buckets[target].append(stream)
 
-        out: List[List[HeapObject]] = []
-        for target in range(num_partitions):
-            merged: List[HeapObject] = []
-            for stream in buckets[target]:
-                delivered = self.context.transfer.deliver(stream, "shuffle")
-                merged.extend(
-                    self.context.deserialize_bucket(delivered, site="shuffle")
-                )
-            out.append(merged)
+            out: List[List[HeapObject]] = []
+            with self.context.stage("shuffle.reduce"):
+                for target in range(num_partitions):
+                    merged: List[HeapObject] = []
+                    for stream in buckets[target]:
+                        delivered = self.context.transfer.deliver(
+                            stream, "shuffle"
+                        )
+                        merged.extend(
+                            self.context.deserialize_bucket(
+                                delivered, site="shuffle"
+                            )
+                        )
+                    out.append(merged)
         return PartitionedDataset(self.context, out)
 
     def _recover_lost_bucket(
@@ -318,16 +358,19 @@ class PartitionedDataset:
         streams = []
         materialized = []
         read_ops = []
-        for partition in self.partitions:
-            stream = self.context.serialize_bucket(partition, site="cache")
-            streams.append(stream)
-        for stream in streams:
-            root, op = self.context.backend.deserialize(
-                stream, self.context.executor_heap, "cache"
-            )
-            read_ops.append(op)
-            materialized.append(self.context._unwrap_records(root))
-        self.context._account_gc()
+        with self.context.stage(
+            "spark.cache_serialized", partitions=self.num_partitions
+        ):
+            for partition in self.partitions:
+                stream = self.context.serialize_bucket(partition, site="cache")
+                streams.append(stream)
+            for stream in streams:
+                root, op = self.context.backend.deserialize(
+                    stream, self.context.executor_heap, "cache"
+                )
+                read_ops.append(op)
+                materialized.append(self.context._unwrap_records(root))
+            self.context._account_gc()
         cached = CachedDataset(
             context=self.context,
             streams=streams,
@@ -341,14 +384,15 @@ class PartitionedDataset:
     def collect(self) -> List[HeapObject]:
         """Ship every partition to the driver through the backend."""
         results: List[HeapObject] = []
-        for partition in self.partitions:
-            if not partition:
-                continue
-            stream = self.context.serialize_bucket(partition, site="collect")
-            delivered = self.context.transfer.deliver(stream, "collect")
-            results.extend(
-                self.context.deserialize_bucket(
-                    delivered, site="collect", heap=self.context.driver_heap
+        with self.context.stage("spark.collect", partitions=self.num_partitions):
+            for partition in self.partitions:
+                if not partition:
+                    continue
+                stream = self.context.serialize_bucket(partition, site="collect")
+                delivered = self.context.transfer.deliver(stream, "collect")
+                results.extend(
+                    self.context.deserialize_bucket(
+                        delivered, site="collect", heap=self.context.driver_heap
+                    )
                 )
-            )
         return results

@@ -25,6 +25,7 @@ from repro.faults.injector import (
     FaultInjector,
 )
 from repro.formats.base import SerializedStream
+from repro.obs.trace import get_tracer
 from repro.spark.metrics import TimeBreakdown
 
 #: Executor-to-executor re-fetch rate (~1.25 GB/s network); only charged
@@ -136,6 +137,17 @@ class ResilientTransfer:
                 failures - 1, jitter_draw
             )
             self.breakdown.retry_ns += wire.size_bytes * self.wire_ns_per_byte
+            # Mark the re-fetch on the trace at the ledger time that now
+            # includes the backoff + wire cost just charged.
+            get_tracer().instant(
+                "transfer.retry",
+                ts_ns=self.breakdown.total_ns,
+                category="retry",
+                track="spark",
+                site=site,
+                attempt=failures,
+                fault=fault,
+            )
 
     def _verify(
         self, received: Optional[SerializedStream], site: str
