@@ -47,6 +47,7 @@ def runtime_snapshot() -> Dict:
     """
     from repro.common.bufpool import pool_stats
     from repro.formats.plans import plan_cache_stats
+    from repro.formats.secure import decode_stats
     from repro.jvm import layout_cache
     from repro.obs.metrics import get_registry
 
@@ -59,6 +60,7 @@ def runtime_snapshot() -> Dict:
         "layout_cache": layout,
         "arena_high_water_mark_bytes": pool["high_water_mark_bytes"],
         "buffer_pool": pool,
+        "secure_decode": decode_stats(),
         "metrics": get_registry().snapshot(),
     }
 

@@ -21,6 +21,75 @@ class FormatError(CerealError):
     """Raised when a serialized stream is malformed or cannot be decoded."""
 
 
+class RegistrationError(CerealError):
+    """A class/type was used with a serializer that requires registration."""
+
+
+class TruncatedStreamError(FormatError):
+    """The stream ended before a read could be satisfied.
+
+    Carries the cursor ``offset`` where the read started, the number of
+    bytes it ``needed``, and how many were actually ``available`` — the
+    context an operator needs to tell a clipped transfer from a hostile
+    truncation.
+    """
+
+    def __init__(self, offset: int, needed: int, available: int):
+        self.offset = offset
+        self.needed = needed
+        self.available = available
+        super().__init__(
+            f"stream underflow: need {needed} bytes at offset {offset}, "
+            f"have {available}"
+        )
+
+
+class MalformedVarintError(FormatError):
+    """A varint was overlong or decoded outside the u64 value space."""
+
+
+class UnknownClassError(FormatError, RegistrationError):
+    """A stream named a class ID the reader's registry does not hold.
+
+    Subclasses both :class:`FormatError` (the bytes cannot be decoded) and
+    :class:`RegistrationError` (the fix is registering the type), so both
+    historical catch sites keep working. This is the register-before-decode
+    security boundary: only pre-registered classes may ever be instantiated
+    from a stream.
+    """
+
+    def __init__(self, class_id, detail: str = "", offset=None):
+        self.class_id = class_id
+        self.offset = offset
+        message = f"unknown class ID {class_id}"
+        if detail:
+            message += f" ({detail})"
+        if offset is not None:
+            message += f" at stream offset {offset}"
+        super().__init__(message)
+
+
+class ResourceLimitError(FormatError):
+    """A decode exceeded its :class:`DecodeLimits` budget.
+
+    Raised *before* the offending allocation happens, so a hostile stream
+    can name a 2^60-element array without the decoder ever reserving it.
+    """
+
+    def __init__(self, limit_name: str, requested, allowed):
+        self.limit_name = limit_name
+        self.requested = requested
+        self.allowed = allowed
+        super().__init__(
+            f"decode budget exceeded: {limit_name} of {requested} "
+            f"over limit {allowed}"
+        )
+
+
+class SchemaMismatchError(FormatError):
+    """Writer and reader schemas for a class cannot be reconciled."""
+
+
 class TransientError(CerealError):
     """A recoverable runtime fault: retrying (or re-executing) may succeed.
 
@@ -44,10 +113,6 @@ class ExecutorLostError(TransientError):
 
 class SimulationError(CerealError):
     """Raised when the cycle-level simulation reaches an invalid state."""
-
-
-class RegistrationError(CerealError):
-    """A class/type was used with a serializer that requires registration."""
 
 
 class CapacityError(SimulationError):

@@ -29,7 +29,14 @@ from repro.formats.javaser import JavaSerializer
 from repro.formats.kryo import KryoSerializer
 from repro.formats.skyway import SkywaySerializer
 from repro.formats.cereal_format import CerealSerializer, CerealStreamSections
+from repro.formats.limits import DEFAULT_LIMITS, DecodeLimits
 from repro.formats.packing import pack_items, unpack_items
+from repro.formats.secure import (
+    VersionedKryo,
+    decode_stats,
+    schema_fingerprint,
+    secure_deserialize,
+)
 from repro.formats.verify import graphs_equivalent
 
 __all__ = [
@@ -39,11 +46,17 @@ __all__ = [
     "DeserializationResult",
     "WorkProfile",
     "ClassRegistration",
+    "DecodeLimits",
+    "DEFAULT_LIMITS",
     "JavaSerializer",
     "KryoSerializer",
     "SkywaySerializer",
     "CerealSerializer",
     "CerealStreamSections",
+    "VersionedKryo",
+    "decode_stats",
+    "schema_fingerprint",
+    "secure_deserialize",
     "pack_items",
     "unpack_items",
     "graphs_equivalent",

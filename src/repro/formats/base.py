@@ -18,6 +18,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.formats.limits import DecodeLimits
 from repro.jvm.heap import Heap, HeapObject
 
 
@@ -159,9 +160,16 @@ class Serializer(abc.ABC):
 
     @abc.abstractmethod
     def deserialize(
-        self, stream: SerializedStream, heap: Heap
+        self,
+        stream: SerializedStream,
+        heap: Heap,
+        limits: Optional[DecodeLimits] = None,
     ) -> DeserializationResult:
-        """Reconstruct the object graph from ``stream`` on ``heap``."""
+        """Reconstruct the object graph from ``stream`` on ``heap``.
+
+        ``limits`` bounds the resources the decode may consume; ``None``
+        applies :data:`repro.formats.limits.DEFAULT_LIMITS`.
+        """
 
     def round_trip(self, root: HeapObject, heap: Heap) -> HeapObject:
         """Serialize then deserialize; convenience for tests and examples."""

@@ -37,7 +37,11 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common.bufpool import acquire_buffer, release_buffer
-from repro.common.errors import FormatError, RegistrationError
+from repro.common.errors import (
+    FormatError,
+    RegistrationError,
+    TruncatedStreamError,
+)
 from repro.formats.base import (
     DeserializationResult,
     SerializationResult,
@@ -55,6 +59,7 @@ from repro.formats.packing import (
     unpack_bitmap_words,
     unpack_items,
 )
+from repro.formats.limits import DecodeLimits, resolve_limits
 from repro.jvm.layout_cache import layout_of
 from repro.formats.registry import ClassRegistration
 from repro.jvm.graph import ObjectGraph, SlotRunGraph
@@ -409,7 +414,9 @@ class CerealSerializer(Serializer):
         def take(count: int) -> bytes:
             nonlocal offset
             if offset + count > len(data):
-                raise FormatError("Cereal stream truncated")
+                raise TruncatedStreamError(
+                    offset=offset, needed=count, available=len(data) - offset
+                )
             out = data[offset : offset + count]
             offset += count
             return out
@@ -482,15 +489,27 @@ class CerealSerializer(Serializer):
     # ---------------------------------------------------------------- deserialize
 
     def deserialize(
-        self, stream: SerializedStream, heap: Heap
+        self,
+        stream: SerializedStream,
+        heap: Heap,
+        limits: Optional[DecodeLimits] = None,
     ) -> DeserializationResult:
+        limits = resolve_limits(limits)
+        limits.check_stream_bytes(len(stream.data))
         sections = self.decode_sections(stream)
         profile = WorkProfile()
         if sections.object_count == 0:
             raise FormatError("empty Cereal stream")
+        limits.check_objects(sections.object_count)
+        limits.check_graph_bytes(sections.graph_total_bytes)
 
         references = sections.reference_values()
         bitmap_items = sections.layout_bitmap_words()
+        if len(bitmap_items) != sections.object_count:
+            raise FormatError(
+                f"header claims {sections.object_count} objects, bitmap "
+                f"table holds {len(bitmap_items)}"
+            )
         base = heap.reserve(sections.graph_total_bytes)
         memory = heap.memory
         header_slots = heap.header_slots
@@ -516,6 +535,13 @@ class CerealSerializer(Serializer):
             profile.add_instructions(_INSTR_PER_OBJECT)
             if bitmap_width < header_slots:
                 raise FormatError("layout bitmap smaller than the object header")
+            if offset + bitmap_width * SLOT_BYTES > sections.graph_total_bytes:
+                # A lying bitmap would otherwise let the image walk write
+                # past the reserved region into unrelated heap memory.
+                raise FormatError(
+                    f"object at image offset {offset} extends past the "
+                    f"{sections.graph_total_bytes}-byte image"
+                )
             klass = None
             if use_fast and not P.bitmap_reference_slots(bitmap_word, bitmap_width):
                 end = value_cursor + bitmap_width

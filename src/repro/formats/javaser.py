@@ -33,7 +33,12 @@ import struct
 from typing import Dict, Iterator, List, Optional
 
 from repro.common.bufpool import acquire_buffer, release_buffer
-from repro.common.errors import FormatError
+from repro.common.errors import (
+    FormatError,
+    HeapError,
+    TruncatedStreamError,
+    UnknownClassError,
+)
 from repro.formats import plans as P
 from repro.formats.base import (
     DeserializationResult,
@@ -42,6 +47,7 @@ from repro.formats.base import (
     Serializer,
     WorkProfile,
 )
+from repro.formats.limits import DecodeLimits, resolve_limits
 from repro.formats.streams import StreamReader, StreamWriter
 from repro.jvm.graph import ObjectGraph
 from repro.jvm.heap import Heap, HeapObject
@@ -472,10 +478,15 @@ class JavaSerializer(Serializer):
     # ---------------------------------------------------------------- deserialize
 
     def deserialize(
-        self, stream: SerializedStream, heap: Heap
+        self,
+        stream: SerializedStream,
+        heap: Heap,
+        limits: Optional[DecodeLimits] = None,
     ) -> DeserializationResult:
+        limits = resolve_limits(limits)
         if self.use_plans:
-            return self._deserialize_planned(stream, heap)
+            return self._deserialize_planned(stream, heap, limits)
+        limits.check_stream_bytes(len(stream.data))
         reader = StreamReader(stream.data)
         profile = WorkProfile()
         reflect = JavaReflection()
@@ -504,7 +515,14 @@ class JavaSerializer(Serializer):
             # Resolving a class by name: the expensive string lookup the
             # paper blames for Java S/D type-resolution overhead.
             profile.add_instructions(_INSTR_PER_CLASSDESC + len(name) * 2)
-            klass = heap.registry.by_name(name)
+            try:
+                klass = heap.registry.by_name(name)
+            except HeapError:
+                raise UnknownClassError(
+                    repr(name),
+                    detail="class name not registered",
+                    offset=reader.position,
+                ) from None
             if serial_version_uid(klass) != uid:
                 raise FormatError(f"serialVersionUID mismatch for {name}")
             if isinstance(klass, InstanceKlass):
@@ -554,6 +572,7 @@ class JavaSerializer(Serializer):
             recover it when the generator finishes.
             """
             klass = read_class_desc()
+            limits.check_objects(profile.objects + 1)
             profile.objects += 1
             profile.allocations += 1
             profile.add_instructions(_INSTR_PER_OBJECT_DESER + _INSTR_PER_ALLOC)
@@ -562,6 +581,7 @@ class JavaSerializer(Serializer):
                 if not isinstance(klass, ArrayKlass):
                     raise FormatError("TC_ARRAY with non-array class")
                 length = reader.read_u32()
+                limits.check_array_length(length)
                 obj = heap.allocate(klass, length)
                 assign_handle(obj)
                 holder.append(obj)
@@ -636,6 +656,7 @@ class JavaSerializer(Serializer):
                 if kind == "value":
                     pending = payload
                 else:
+                    limits.check_depth(len(stack) + 1)
                     stack.append((payload, holder))
             except StopIteration:
                 stack.pop()
@@ -687,7 +708,7 @@ class JavaSerializer(Serializer):
         return reader._pos
 
     def _deserialize_planned(
-        self, stream: SerializedStream, heap: Heap
+        self, stream: SerializedStream, heap: Heap, limits: DecodeLimits
     ) -> DeserializationResult:
         """Compiled-plan deserialize: identical heap image and profile.
 
@@ -698,15 +719,18 @@ class JavaSerializer(Serializer):
         """
         data = stream.data
         n_data = len(data)
+        limits.check_stream_bytes(n_data)
+        max_objects = limits.max_objects
+        max_array_length = limits.max_array_length
+        max_depth = limits.max_depth
         memory = heap.memory
         header_slots = heap.header_slots
         pos = 0
 
         if n_data < 4:
             offset = 0 if n_data < 2 else 2
-            raise FormatError(
-                f"stream underflow: need 2 bytes at offset {offset}, "
-                f"have {n_data - offset}"
+            raise TruncatedStreamError(
+                offset=offset, needed=2, available=n_data - offset
             )
         if data[:4] != _STREAM_HEADER:
             raise FormatError("bad Java serialization stream header")
@@ -725,9 +749,8 @@ class JavaSerializer(Serializer):
         graph_bytes = 0
 
         def underflow(count: int) -> FormatError:
-            return FormatError(
-                f"stream underflow: need {count} bytes at offset {pos}, "
-                f"have {n_data - pos}"
+            return TruncatedStreamError(
+                offset=pos, needed=count, available=n_data - pos
             )
 
         def read_class_desc():
@@ -765,7 +788,12 @@ class JavaSerializer(Serializer):
             except UnicodeDecodeError as error:
                 raise FormatError(f"invalid UTF-8 in stream: {error}") from None
             pos += name_length
-            klass = heap.registry.by_name(name)
+            try:
+                klass = heap.registry.by_name(name)
+            except HeapError:
+                raise UnknownClassError(
+                    repr(name), detail="class name not registered", offset=pos
+                ) from None
             plan = plans_local.get(klass)
             if plan is None:
                 plan = P.plan_for(self.name, klass, header_slots)
@@ -861,6 +889,8 @@ class JavaSerializer(Serializer):
                 raise FormatError(f"unexpected tag {tag:#x}")
             klass, plan = read_class_desc()
             objects += 1
+            if objects > max_objects:
+                limits.check_objects(objects)
             allocations += 1
             aux += plan.de_aux
             if tag == TC_ARRAY:
@@ -870,6 +900,8 @@ class JavaSerializer(Serializer):
                     raise underflow(4)
                 length = _U32.unpack_from(data, pos)[0]
                 pos += 4
+                if length > max_array_length:
+                    limits.check_array_length(length)
                 obj = heap.allocate(klass, length)
                 handle_table.append(obj)
                 instr += plan.de_instr + length * plan.de_elem_instr
@@ -967,6 +999,8 @@ class JavaSerializer(Serializer):
                     stack.pop()
                     pending = obj
             if descend is not None:
+                if len(stack) >= max_depth:
+                    limits.check_depth(len(stack) + 1)
                 stack.append(descend)
 
         instr += reflect_instr + n_data * _INSTR_PER_STREAM_BYTE

@@ -29,7 +29,7 @@ import struct
 from typing import Dict, List, Optional
 
 from repro.common.bufpool import acquire_buffer, release_buffer
-from repro.common.errors import FormatError
+from repro.common.errors import FormatError, TruncatedStreamError
 from repro.formats import plans as P
 from repro.formats.base import (
     DeserializationResult,
@@ -38,6 +38,7 @@ from repro.formats.base import (
     Serializer,
     WorkProfile,
 )
+from repro.formats.limits import DecodeLimits, resolve_limits
 from repro.formats.registry import ClassRegistration
 from repro.formats.streams import StreamReader, StreamWriter
 from repro.jvm.graph import ObjectGraph
@@ -398,10 +399,15 @@ class KryoSerializer(Serializer):
     # ---------------------------------------------------------------- deserialize
 
     def deserialize(
-        self, stream: SerializedStream, heap: Heap
+        self,
+        stream: SerializedStream,
+        heap: Heap,
+        limits: Optional[DecodeLimits] = None,
     ) -> DeserializationResult:
+        limits = resolve_limits(limits)
         if self.use_plans:
-            return self._deserialize_planned(stream, heap)
+            return self._deserialize_planned(stream, heap, limits)
+        limits.check_stream_bytes(len(stream.data))
         reader = StreamReader(stream.data)
         profile = WorkProfile()
         asm = ReflectAsmAccess()
@@ -428,7 +434,8 @@ class KryoSerializer(Serializer):
 
         def parse_object(mark: int):
             class_id = reader.read_varint()
-            klass = self.registration.klass_of(class_id)
+            klass = self.registration.klass_of(class_id, offset=reader.position)
+            limits.check_objects(len(objects_by_id) + 1)
             profile.objects += 1
             profile.allocations += 1
             profile.add_instructions(_INSTR_PER_OBJECT_DESER + _INSTR_PER_ALLOC)
@@ -437,6 +444,7 @@ class KryoSerializer(Serializer):
                 if not isinstance(klass, ArrayKlass):
                     raise FormatError("array marker with non-array class ID")
                 length = reader.read_varint()
+                limits.check_array_length(length)
                 obj = heap.allocate(klass, length)
                 objects_by_id.append(obj)
                 if klass.element_kind.is_reference:
@@ -505,6 +513,7 @@ class KryoSerializer(Serializer):
                 if kind == "value":
                     pending = payload
                 else:
+                    limits.check_depth(len(stack) + 1)
                     stack.append(payload)
                     object_count_at_frame.append(len(objects_by_id))
             except StopIteration:
@@ -525,11 +534,15 @@ class KryoSerializer(Serializer):
     # ----------------------------------------------------- deserialize (plan kernel)
 
     def _deserialize_planned(
-        self, stream: SerializedStream, heap: Heap
+        self, stream: SerializedStream, heap: Heap, limits: DecodeLimits
     ) -> DeserializationResult:
         """Compiled-plan deserialize: identical heap image and profile."""
         data = stream.data
         n_data = len(data)
+        limits.check_stream_bytes(n_data)
+        max_objects = limits.max_objects
+        max_array_length = limits.max_array_length
+        max_depth = limits.max_depth
         memory = heap.memory
         header_slots = heap.header_slots
         klass_of = self.registration.klass_of
@@ -550,9 +563,8 @@ class KryoSerializer(Serializer):
         graph_bytes = 0
 
         def underflow(count: int) -> FormatError:
-            return FormatError(
-                f"stream underflow: need {count} bytes at offset {pos}, "
-                f"have {n_data - pos}"
+            return TruncatedStreamError(
+                offset=pos, needed=count, available=n_data - pos
             )
 
         def run_dec_ops(ops, index: int, words: list) -> int:
@@ -626,18 +638,22 @@ class KryoSerializer(Serializer):
             if mark not in (MARK_OBJECT, MARK_ARRAY):
                 raise FormatError(f"unexpected marker {mark:#x}")
             class_id, pos = read_varint(data, pos)
-            klass = klass_of(class_id)
+            klass = klass_of(class_id, offset=pos)
             plan = plans_local.get(klass)
             if plan is None:
                 plan = P.plan_for(self.name, klass, header_slots)
                 plans_local[klass] = plan
             objects += 1
+            if objects > max_objects:
+                limits.check_objects(objects)
             allocations += 1
             aux += plan.de_aux
             if mark == MARK_ARRAY:
                 if not isinstance(klass, ArrayKlass):
                     raise FormatError("array marker with non-array class ID")
                 length, pos = read_varint(data, pos)
+                if length > max_array_length:
+                    limits.check_array_length(length)
                 obj = heap.allocate(klass, length)
                 objects_by_id.append(obj)
                 instr += plan.de_instr + length * plan.de_elem_instr
@@ -747,6 +763,8 @@ class KryoSerializer(Serializer):
                     stack.pop()
                     pending = obj
             if descend is not None:
+                if len(stack) >= max_depth:
+                    limits.check_depth(len(stack) + 1)
                 stack.append(descend)
 
         instr += reflect_instr + n_data * _INSTR_PER_STREAM_BYTE

@@ -1,0 +1,70 @@
+"""Decode resource budgets shared by every deserializer.
+
+A hostile stream can be tiny and still name enormous work: a 6-byte Kryo
+stream can declare a 2^60-element array, a Skyway header can claim a
+terabyte image, a deep object chain can exhaust the Python stack. A
+:class:`DecodeLimits` budget caps each axis *before* the allocation or
+recursion happens, so rejection costs O(1) regardless of what the stream
+claims.
+
+Every ``deserialize`` accepts ``limits``; ``None`` means
+:data:`DEFAULT_LIMITS` — hardening is always on, with bounds generous
+enough that no legitimate workload in this repo ever brushes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ResourceLimitError
+
+
+@dataclass(frozen=True)
+class DecodeLimits:
+    """Upper bounds a single decode call may not exceed.
+
+    ``max_stream_bytes``    total encoded stream size accepted
+    ``max_objects``         objects instantiated from one stream
+    ``max_array_length``    declared length of any single array
+    ``max_depth``           reference-nesting depth of the decode stack
+    ``max_graph_bytes``     total heap bytes a decode may materialize
+    ``max_varint_bytes``    encoded width of one varint (LEB128 u64 = 10)
+    """
+
+    max_stream_bytes: int = 1 << 30  # 1 GiB
+    max_objects: int = 1 << 20  # 1M objects
+    max_array_length: int = 1 << 24  # 16M elements
+    max_depth: int = 4096
+    max_graph_bytes: int = 2 << 30  # 2 GiB of heap
+    max_varint_bytes: int = 10
+
+    def check_stream_bytes(self, size: int) -> None:
+        if size > self.max_stream_bytes:
+            raise ResourceLimitError("stream_bytes", size, self.max_stream_bytes)
+
+    def check_objects(self, count: int) -> None:
+        if count > self.max_objects:
+            raise ResourceLimitError("objects", count, self.max_objects)
+
+    def check_array_length(self, length: int) -> None:
+        if length > self.max_array_length:
+            raise ResourceLimitError(
+                "array_length", length, self.max_array_length
+            )
+
+    def check_depth(self, depth: int) -> None:
+        if depth > self.max_depth:
+            raise ResourceLimitError("depth", depth, self.max_depth)
+
+    def check_graph_bytes(self, total: int) -> None:
+        if total > self.max_graph_bytes:
+            raise ResourceLimitError("graph_bytes", total, self.max_graph_bytes)
+
+
+DEFAULT_LIMITS = DecodeLimits()
+
+
+def resolve_limits(limits: Optional[DecodeLimits]) -> DecodeLimits:
+    """Map ``None`` to the default budget (hardening is never off)."""
+    return DEFAULT_LIMITS if limits is None else limits

@@ -52,7 +52,11 @@ import struct
 from hashlib import sha256
 from typing import Dict, List, Tuple
 
-from repro.common.errors import FormatError
+from repro.common.errors import (
+    FormatError,
+    MalformedVarintError,
+    TruncatedStreamError,
+)
 from repro.jvm.klass import ArrayKlass, FieldKind, InstanceKlass, Klass
 from repro.jvm.layout_cache import layout_of
 from repro.obs.metrics import get_registry
@@ -148,18 +152,15 @@ def read_varint(data: bytes, pos: int) -> Tuple[int, int]:
     end = len(data)
     while True:
         if shift > 63:
-            raise FormatError("varint longer than 64 bits")
+            raise MalformedVarintError("varint longer than 64 bits")
         if pos >= end:
-            raise FormatError(
-                f"stream underflow: need 1 bytes at offset {pos}, "
-                f"have {end - pos}"
-            )
+            raise TruncatedStreamError(offset=pos, needed=1, available=end - pos)
         byte = data[pos]
         pos += 1
         value |= (byte & 0x7F) << shift
         if not byte & 0x80:
             if value >= 1 << 64:
-                raise FormatError(
+                raise MalformedVarintError(
                     f"varint decodes to {value} (>= 2^64); final byte "
                     f"{byte:#04x} at shift {shift} overflows u64"
                 )

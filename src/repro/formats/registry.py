@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
-from repro.common.errors import RegistrationError
+from repro.common.errors import RegistrationError, UnknownClassError
 from repro.jvm.klass import Klass
 
 
@@ -49,10 +49,20 @@ class ClassRegistration:
                 f"(Kryo/Cereal require explicit type registration)"
             ) from None
 
-    def klass_of(self, class_id: int) -> Klass:
-        """Klass for a class ID; raises for unknown IDs."""
-        if not 0 <= class_id < len(self._klass_by_id):
-            raise RegistrationError(f"unknown class ID {class_id}")
+    def klass_of(self, class_id: int, offset: Optional[int] = None) -> Klass:
+        """Klass for a class ID; raises :class:`UnknownClassError` otherwise.
+
+        ``offset`` is the stream position where the ID was read, when the
+        caller has one; it is carried on the error for diagnostics. A
+        negative ID is rejected explicitly — Python's negative indexing
+        would otherwise silently alias it onto a registered class.
+        """
+        if class_id < 0 or class_id >= len(self._klass_by_id):
+            raise UnknownClassError(
+                class_id,
+                detail=f"registry holds {len(self._klass_by_id)} classes",
+                offset=offset,
+            )
         return self._klass_by_id[class_id]
 
     def is_registered(self, klass: Klass) -> bool:

@@ -31,6 +31,7 @@ from repro.formats.base import (
     Serializer,
     WorkProfile,
 )
+from repro.formats.limits import DecodeLimits, resolve_limits
 from repro.formats.registry import ClassRegistration
 from repro.formats.streams import StreamReader, StreamWriter
 from repro.jvm.graph import ObjectGraph
@@ -125,14 +126,30 @@ class SkywaySerializer(Serializer):
     # ---------------------------------------------------------------- deserialize
 
     def deserialize(
-        self, stream: SerializedStream, heap: Heap
+        self,
+        stream: SerializedStream,
+        heap: Heap,
+        limits: Optional[DecodeLimits] = None,
     ) -> DeserializationResult:
+        limits = resolve_limits(limits)
+        limits.check_stream_bytes(len(stream.data))
         reader = StreamReader(stream.data)
         profile = WorkProfile()
         total_bytes = reader.read_u32()
         object_count = reader.read_u32()
         if total_bytes <= 0 or object_count <= 0:
             raise FormatError("empty Skyway stream")
+        # The header's claims are checked against the budget *and* against
+        # the actual stream before any heap space is reserved: a header
+        # cannot make the receiver commit more memory than the sender shipped
+        # bytes for (minus per-object header overlap, bounded by 8x).
+        limits.check_objects(object_count)
+        limits.check_graph_bytes(total_bytes)
+        if total_bytes > len(stream.data) * 8:
+            raise FormatError(
+                f"Skyway header claims {total_bytes} image bytes from a "
+                f"{len(stream.data)}-byte stream"
+            )
 
         base = heap.reserve(total_bytes)
         memory = heap.memory
@@ -144,9 +161,14 @@ class SkywaySerializer(Serializer):
 
         for _ in range(object_count):
             address = base + offset
+            if offset + heap.header_bytes > total_bytes:
+                raise FormatError(
+                    f"Skyway header declares more objects than fit in its "
+                    f"{total_bytes}-byte image"
+                )
             mark_raw = reader.read_u64()
             type_id = reader.read_u64()
-            klass = self.registration.klass_of(type_id)
+            klass = self.registration.klass_of(type_id, offset=reader.position)
             memory.write_u64(address, mark_raw)
             assert klass.metaspace_address is not None or True
             if klass.metaspace_address is None:
@@ -164,13 +186,23 @@ class SkywaySerializer(Serializer):
             fields_base = address + header_slots * SLOT_BYTES
             if isinstance(klass, ArrayKlass):
                 length_word = reader.read_u64()
-                memory.write_u64(fields_base, length_word)
                 length = length_word
+                limits.check_array_length(length)
                 first_slot = 1
             else:
                 length = 0
                 first_slot = 0
             field_slots = klass.instance_slots(length)
+            size_bytes = (header_slots + field_slots) * SLOT_BYTES
+            if offset + size_bytes > total_bytes:
+                # A lying length or type ID would otherwise let slot writes
+                # run past the reserved region into unrelated heap memory.
+                raise FormatError(
+                    f"Skyway object at image offset {offset} extends "
+                    f"{size_bytes} bytes past the {total_bytes}-byte image"
+                )
+            if first_slot:
+                memory.write_u64(fields_base, length_word)
             reference_slots = set(klass.reference_slot_indices(length))
             for slot in range(first_slot, field_slots):
                 raw = reader.read_u64()

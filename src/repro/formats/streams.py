@@ -16,7 +16,12 @@ import zlib
 from typing import Dict
 
 from repro.common.bufpool import acquire_buffer, release_buffer
-from repro.common.errors import CorruptionError, FormatError
+from repro.common.errors import (
+    CorruptionError,
+    FormatError,
+    MalformedVarintError,
+    TruncatedStreamError,
+)
 
 
 # -- checksummed framing ------------------------------------------------------------
@@ -196,9 +201,8 @@ class StreamReader:
 
     def _take(self, length: int) -> bytes:
         if length < 0 or self._pos + length > len(self._data):
-            raise FormatError(
-                f"stream underflow: need {length} bytes at offset {self._pos}, "
-                f"have {self.remaining}"
+            raise TruncatedStreamError(
+                offset=self._pos, needed=length, available=self.remaining
             )
         chunk = self._data[self._pos : self._pos + length]
         self._pos += length
@@ -237,7 +241,7 @@ class StreamReader:
         shift = 0
         while True:
             if shift > 63:
-                raise FormatError("varint longer than 64 bits")
+                raise MalformedVarintError("varint longer than 64 bits")
             byte = self.read_u8()
             value |= (byte & 0x7F) << shift
             if not byte & 0x80:
@@ -245,7 +249,7 @@ class StreamReader:
                 # >= 2^64: the encoder never emits it, so reject it rather
                 # than silently overflowing the u64 value space.
                 if value >= 1 << 64:
-                    raise FormatError(
+                    raise MalformedVarintError(
                         f"varint decodes to {value} (>= 2^64); final byte "
                         f"{byte:#04x} at shift {shift} overflows u64"
                     )

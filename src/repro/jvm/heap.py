@@ -224,6 +224,52 @@ class Heap:
     def object_count(self) -> int:
         return len(self._objects)
 
+    # -- decode transactions -----------------------------------------------------------
+
+    def checkpoint(self) -> "HeapCheckpoint":
+        """Snapshot the allocation frontier for a decode transaction.
+
+        A bump-pointer heap makes rollback cheap: everything a failed
+        decode touched lives in the span ``[checkpoint ptr, current ptr)``
+        and at the tail of the allocation order, so no per-object undo log
+        is needed.
+        """
+        return HeapCheckpoint(
+            alloc_ptr=self._alloc_ptr, alloc_count=len(self._alloc_order)
+        )
+
+    def rollback(self, token: "HeapCheckpoint") -> None:
+        """Discard every allocation made after ``token`` was taken.
+
+        Restores the allocation pointer, drops the registered objects, and
+        zero-fills the abandoned span so a later allocation over the same
+        range starts from cleared memory — leaving no observable trace of
+        the failed decode.
+        """
+        if token.alloc_ptr > self._alloc_ptr or token.alloc_count > len(
+            self._alloc_order
+        ):
+            raise HeapError(
+                "stale heap checkpoint: allocation frontier is behind it"
+            )
+        for address in self._alloc_order[token.alloc_count :]:
+            del self._objects[address]
+        del self._alloc_order[token.alloc_count :]
+        span = self._alloc_ptr - token.alloc_ptr
+        if span:
+            self.memory.fill(token.alloc_ptr, span, 0)
+        self._alloc_ptr = token.alloc_ptr
+
+
+class HeapCheckpoint:
+    """Opaque token marking a heap allocation frontier (see ``checkpoint``)."""
+
+    __slots__ = ("alloc_ptr", "alloc_count")
+
+    def __init__(self, alloc_ptr: int, alloc_count: int):
+        self.alloc_ptr = alloc_ptr
+        self.alloc_count = alloc_count
+
 
 class HeapObject:
     """Handle to one object on the simulated heap.

@@ -14,6 +14,14 @@ queues, software lane) and applies a two-threshold policy:
   rejected immediately, counted against goodput, and excluded from the
   latency distribution (the client got an error, not a slow answer).
 
+Malformed payloads form a separate shed class: the hardened decode path
+(:mod:`repro.formats.secure`) rejects them with a typed error before any
+slot is occupied, so they never consume queue capacity or appear in the
+latency distribution. They are counted on the controller (``rejected``)
+and in the ``decode.rejected{...}`` obs counters, distinct from
+load shedding — a shed request was valid but unlucky; a rejected request
+was never valid at all.
+
 A third degrade source lives in the server: accelerator capacity faults
 (from :mod:`repro.faults`) reroute already-dispatched batches to the
 software lane. Those are counted separately as fault fallbacks.
@@ -28,6 +36,7 @@ from repro.common.errors import ConfigError
 DECISION_ADMIT = "admit"
 DECISION_DEGRADE = "degrade"
 DECISION_SHED = "shed"
+DECISION_REJECT = "reject"  # malformed payload: refused by the decoder
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,22 @@ class AdmissionController:
         self.admitted = 0
         self.degraded = 0
         self.shed = 0
+        self.rejected = 0
+
+    def reject_malformed(self, reason: str = "malformed") -> str:
+        """A payload the hardened decoder refused; occupies no slot.
+
+        Counted per ``reason`` in the ``decode.rejected`` obs metric so
+        SLO reports and bench snapshots can break rejections down the
+        same way :func:`repro.formats.secure.decode_stats` does.
+        """
+        from repro.obs.metrics import get_registry
+
+        self.rejected += 1
+        get_registry().counter(
+            "decode.rejected", format="service", reason=reason
+        ).inc()
+        return DECISION_REJECT
 
     def decide(self) -> str:
         """Decision for one arriving request; occupies a slot unless shed."""
@@ -85,4 +110,4 @@ class AdmissionController:
 
     @property
     def total_seen(self) -> int:
-        return self.admitted + self.shed
+        return self.admitted + self.shed + self.rejected

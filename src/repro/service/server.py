@@ -38,6 +38,7 @@ from repro.common.errors import ConfigError, SimulationError
 from repro.common.bufpool import pool_stats
 from repro.faults.injector import FaultInjector
 from repro.formats.plans import plan_cache_stats
+from repro.formats.secure import decode_stats
 from repro.formats.verify import graphs_equivalent
 from repro.jvm.heap import Heap
 from repro.jvm.layout_cache import stats as layout_cache_stats
@@ -55,6 +56,7 @@ from repro.service.slo import (
     BACKEND_SOFTWARE,
     OUTCOME_DEGRADED,
     OUTCOME_OK,
+    OUTCOME_REJECTED,
     OUTCOME_SHED,
     RequestRecord,
     SLOReport,
@@ -507,8 +509,13 @@ class SerializationServer:
         for request in requests:
             record = self._records[request.request_id]
             if not record.completed:
+                name = (
+                    "request.rejected"
+                    if record.outcome == OUTCOME_REJECTED
+                    else "request.shed"
+                )
                 tracer.instant(
-                    "request.shed",
+                    name,
                     ts_ns=record.arrival_ns,
                     category="request",
                     track="requests",
@@ -590,6 +597,16 @@ class SerializationServer:
             if etype == "arrival":
                 request = payload
                 record = self._records[request.request_id]
+                if request.malformed:
+                    # The hardened decode path refuses the payload with a
+                    # typed error before admission: no queue slot, no
+                    # latency sample — a shed class of its own.
+                    self.admission.reject_malformed()
+                    record.outcome = OUTCOME_REJECTED
+                    record.backend = BACKEND_NONE
+                    record.dispatch_ns = now_ns
+                    record.finish_ns = now_ns
+                    continue
                 decision = self.admission.decide()
                 if decision == DECISION_SHED:
                     record.outcome = OUTCOME_SHED
@@ -640,6 +657,7 @@ class SerializationServer:
                 "plan_cache": plan_cache_stats(),
                 "layout_cache": layout_cache_stats(),
                 "buffer_pool": pool_stats(),
+                "secure_decode": decode_stats(),
             },
         )
         return report

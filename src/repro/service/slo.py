@@ -24,6 +24,7 @@ from repro.obs.metrics import Histogram
 OUTCOME_OK = "ok"
 OUTCOME_DEGRADED = "degraded"
 OUTCOME_SHED = "shed"
+OUTCOME_REJECTED = "rejected"  # malformed payload refused at admission
 
 BACKEND_CEREAL = "cereal"
 BACKEND_SOFTWARE = "software"
@@ -50,7 +51,7 @@ class RequestRecord:
 
     @property
     def completed(self) -> bool:
-        return self.outcome != OUTCOME_SHED
+        return self.outcome not in (OUTCOME_SHED, OUTCOME_REJECTED)
 
     @property
     def latency_ns(self) -> float:
@@ -110,7 +111,13 @@ class SLOReport:
 
     @property
     def shed_requests(self) -> int:
-        return self.total_requests - self.completed_requests
+        return sum(1 for r in self.records if r.outcome == OUTCOME_SHED)
+
+    @property
+    def rejected_requests(self) -> int:
+        """Malformed payloads refused by the hardened decoder — a shed
+        class of their own, never lumped into capacity shedding."""
+        return sum(1 for r in self.records if r.outcome == OUTCOME_REJECTED)
 
     @property
     def degraded_requests(self) -> int:
@@ -121,6 +128,12 @@ class SLOReport:
         if not self.records:
             return 0.0
         return self.shed_requests / self.total_requests
+
+    @property
+    def rejected_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.rejected_requests / self.total_requests
 
     # -- latency ------------------------------------------------------------------
 
@@ -214,6 +227,7 @@ class SLOReport:
                 "total": self.total_requests,
                 "completed": self.completed_requests,
                 "shed": self.shed_requests,
+                "rejected": self.rejected_requests,
                 "degraded": self.degraded_requests,
                 "verified": self.verified_requests,
             },
@@ -222,6 +236,7 @@ class SLOReport:
                 "offered_qps": self.offered_qps,
                 "goodput_qps": self.goodput_qps,
                 "shed_rate": self.shed_rate,
+                "rejected_rate": self.rejected_rate,
             },
             "batching": {
                 "mean_batch_size": self.mean_batch_size,
@@ -267,8 +282,10 @@ class SLOReport:
         table.add_note(
             f"offered {self.offered_qps:,.0f} rps, goodput "
             f"{self.goodput_qps:,.0f} rps, shed {self.shed_requests} "
-            f"({self.shed_rate * 100:.2f}%), degraded "
-            f"{self.degraded_requests} (batches {self.degraded_batches})"
+            f"({self.shed_rate * 100:.2f}%), rejected "
+            f"{self.rejected_requests} ({self.rejected_rate * 100:.2f}%), "
+            f"degraded {self.degraded_requests} "
+            f"(batches {self.degraded_batches})"
         )
         table.add_note(
             f"mean batch size {self.mean_batch_size:.2f}, peak queue "

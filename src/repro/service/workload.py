@@ -222,6 +222,9 @@ class ServiceRequest:
     kind: str  # "serialize" | "deserialize"
     entry: CatalogEntry
     arrival_ns: float
+    #: The payload is adversarial/corrupt: the hardened decode path will
+    #: refuse it at admission instead of occupying a queue slot.
+    malformed: bool = False
 
     @property
     def payload_bytes(self) -> int:
@@ -272,15 +275,19 @@ class OpenLoopWorkload:
         num_requests: int,
         seed: int = 0,
         mix: Optional[RequestMix] = None,
+        malformed_fraction: float = 0.0,
     ):
         if qps <= 0:
             raise ConfigError(f"qps must be positive, got {qps}")
         if num_requests <= 0:
             raise ConfigError("num_requests must be positive")
+        if not 0.0 <= malformed_fraction <= 1.0:
+            raise ConfigError("malformed_fraction must be in [0, 1]")
         self.qps = qps
         self.num_requests = num_requests
         self.seed = seed
         self.mix = mix or RequestMix()
+        self.malformed_fraction = malformed_fraction
 
     # -- overridable pieces --------------------------------------------------------
 
@@ -309,6 +316,9 @@ class OpenLoopWorkload:
         total_weight = sum(weights)
         kind_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0002)
         size_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0003)
+        # Malformed flags come from their own stream so turning the
+        # fraction on or off never reshuffles kinds, sizes, or arrivals.
+        malformed_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0005)
         scale_ns = 1e9 / self.qps
         clock = 0.0
         requests: List[ServiceRequest] = []
@@ -325,12 +335,14 @@ class OpenLoopWorkload:
                     chosen = name
                     break
                 draw -= weight
+            malformed = malformed_rng.random() < self.malformed_fraction
             requests.append(
                 ServiceRequest(
                     request_id=index,
                     kind=kind,
                     entry=catalog.entry(chosen),
                     arrival_ns=clock,
+                    malformed=malformed,
                 )
             )
         return requests
@@ -358,8 +370,15 @@ class BurstyWorkload(OpenLoopWorkload):
         burst_factor: float = 8.0,
         burst_fraction: float = 0.25,
         mean_phase_requests: int = 32,
+        malformed_fraction: float = 0.0,
     ):
-        super().__init__(qps, num_requests, seed=seed, mix=mix)
+        super().__init__(
+            qps,
+            num_requests,
+            seed=seed,
+            mix=mix,
+            malformed_fraction=malformed_fraction,
+        )
         if burst_factor < 1.0:
             raise ConfigError("burst_factor must be >= 1")
         if not 0.0 < burst_fraction < 1.0:

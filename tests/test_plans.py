@@ -395,7 +395,12 @@ def test_slo_report_carries_runtime_cache_stats():
     report = server.run(workload.generate(catalog))
     caches = report.runtime_caches
     assert caches is not None
-    assert set(caches) == {"plan_cache", "layout_cache", "buffer_pool"}
+    assert set(caches) == {
+        "plan_cache",
+        "layout_cache",
+        "buffer_pool",
+        "secure_decode",
+    }
     summary = report.as_dict()
     assert summary["runtime_caches"]["plan_cache"]["hit_rate"] >= 0.0
     rendered = report.to_table().render()

@@ -338,6 +338,7 @@ class TestSLOReport:
             "total": 2,
             "completed": 2,
             "shed": 0,
+            "rejected": 0,
             "degraded": 1,
             "verified": 0,
         }
