@@ -1,0 +1,39 @@
+"""Stable (unsalted) string and integer hashing.
+
+Python's built-in ``hash`` is salted per process (``PYTHONHASHSEED``), so
+anything derived from it — rng seeds, placement decisions, sampled draws
+— silently changes between runs. Every layer that needs a deterministic
+hash routes through here instead:
+
+* :func:`fnv1a64` — FNV-1a over UTF-8, the cheap stable string hash;
+* :func:`splitmix64` — the splitmix64 finalizer, a high-quality 64-bit
+  mixing function (weak avalanche in raw FNV-1a is fixed by one pass);
+* :func:`stable_hash` — their composition, the default for keys that
+  feed placement or seeding.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(text: str) -> int:
+    """FNV-1a over UTF-8 — a *stable* string hash (``hash()`` is salted)."""
+    state = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        state ^= byte
+        state = (state * 0x100000001B3) & MASK64
+    return state
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a high-quality 64-bit mixing function."""
+    value = (value + 0x9E3779B97F4A7C15) & MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & MASK64
+    return value ^ (value >> 31)
+
+
+def stable_hash(text: str) -> int:
+    """FNV-1a over UTF-8, mixed through the splitmix64 finalizer."""
+    return splitmix64(fnv1a64(text))

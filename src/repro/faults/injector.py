@@ -18,34 +18,18 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.common.hashing import fnv1a64 as _fnv1a64
+from repro.common.hashing import splitmix64
 from repro.faults.policy import FaultPolicy
 from repro.faults.report import FaultReport
 from repro.obs.trace import get_tracer
 
-_MASK64 = (1 << 64) - 1
 _TWO64 = float(1 << 64)
 
 #: Transfer fault kinds, in draw-partition order.
 FAULT_CORRUPT = "corrupt"
 FAULT_DROP = "drop"
 FAULT_LATENCY = "latency"
-
-
-def splitmix64(value: int) -> int:
-    """The splitmix64 finalizer: a high-quality 64-bit mixing function."""
-    value = (value + 0x9E3779B97F4A7C15) & _MASK64
-    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return value ^ (value >> 31)
-
-
-def _fnv1a64(text: str) -> int:
-    """FNV-1a over UTF-8 — a *stable* string hash (``hash()`` is salted)."""
-    state = 0xCBF29CE484222325
-    for byte in text.encode("utf-8"):
-        state ^= byte
-        state = (state * 0x100000001B3) & _MASK64
-    return state
 
 
 class FaultInjector:
@@ -127,6 +111,20 @@ class FaultInjector:
         )
         if fired:
             self._mark("fault.accelerator", kind=kind)
+        return fired
+
+    def node_lost(self, node_id: str) -> bool:
+        """Does serving node ``node_id`` drop out at this decision point?
+
+        The cluster control loop asks once per live node per tick, each on
+        its own channel, so adding or removing nodes never perturbs the
+        fault schedule of the others.
+        """
+        if self.policy.node_loss_prob <= 0.0:
+            return False
+        fired = self.draw(f"node.{node_id}") < self.policy.node_loss_prob
+        if fired:
+            self._mark("fault.node", node=node_id)
         return fired
 
     def heap_exhausted(self, site: str) -> bool:

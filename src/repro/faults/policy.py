@@ -19,6 +19,7 @@ _PROBABILITY_FIELDS = (
     "executor_loss_prob",
     "accelerator_fault_prob",
     "heap_exhaustion_prob",
+    "node_loss_prob",
     "truncation_fraction",
 )
 
@@ -46,6 +47,9 @@ class FaultPolicy:
     #: The destination heap cannot hold the rebuilt graph without an
     #: emergency collection first.
     heap_exhaustion_prob: float = 0.0
+    #: A whole serving node (accelerator shards + software lane) drops out
+    #: of the cluster. Evaluated once per node per cluster control tick.
+    node_loss_prob: float = 0.0
 
     def __post_init__(self) -> None:
         for name in _PROBABILITY_FIELDS:
@@ -90,6 +94,7 @@ class FaultPolicy:
             executor_loss_prob=probability,
             accelerator_fault_prob=probability,
             heap_exhaustion_prob=probability,
+            node_loss_prob=probability,
         )
 
     def describe(self) -> str:

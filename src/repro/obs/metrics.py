@@ -233,6 +233,37 @@ class Histogram:
             seen += bucket_count
         return self.max
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram, in place.
+
+        This is how per-node latency distributions aggregate into
+        cluster-wide quantiles: counts, totals, min/max, and log2 buckets
+        add element-wise, and the exact reservoirs concatenate. As long as
+        the combined sample count still fits this histogram's
+        ``exact_limit``, the merged quantiles remain *exact* — identical
+        to :func:`exact_quantile` over the union of the raw series. Past
+        the limit the merge degrades to the bucket-interpolated path, the
+        same behaviour a single long-running histogram has.
+
+        Merging never mutates ``other``; returns ``self`` for chaining.
+        """
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for index, bucket_count in enumerate(other._buckets):
+            if bucket_count:
+                self._buckets[index] += bucket_count
+        room = self.exact_limit - len(self._samples)
+        if room > 0:
+            self._samples.extend(other._samples[:room])
+            self._sorted = False
+        return self
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
@@ -341,6 +372,35 @@ class MetricsRegistry:
             else:
                 out[key] = value
         return out
+
+    def merge_snapshot(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's current state into this one.
+
+        The cluster layer gives every server node a private registry and
+        aggregates them through here: counters add, gauges keep the
+        high-water mark, histograms :meth:`Histogram.merge` (so
+        cluster-wide quantiles stay exact while the combined sample count
+        fits the reservoir). Metrics absent from this registry are created
+        with the same name/labels; a name registered under a different
+        metric type raises :class:`TypeError` exactly like ``_fetch``
+        does. ``other`` is read, never mutated.
+        """
+        for (name, labels), metric in other._metrics.items():
+            if isinstance(metric, Counter):
+                mine = self._fetch(Counter, name, dict(labels))
+                mine.value += metric.value
+            elif isinstance(metric, Gauge):
+                mine = self._fetch(Gauge, name, dict(labels))
+                mine.set_max(metric.value)
+            else:
+                mine = self._fetch(
+                    Histogram,
+                    name,
+                    dict(labels),
+                    exact_limit=metric.exact_limit,
+                    registry=self,
+                )
+                mine.merge(metric)
 
     def reset(self) -> None:
         """Zero every metric in place (handles cached by modules survive)."""

@@ -34,6 +34,7 @@ from repro.service.admission import (
 from repro.service.batching import AddOutcome, Batch, BatchCoalescer
 from repro.service.server import (
     AcceleratorShard,
+    ArrivalOutcome,
     SerializationServer,
     ServiceConfig,
     SoftwareLane,
@@ -43,12 +44,17 @@ from repro.service.workload import (
     BurstyWorkload,
     CatalogEntry,
     DEFAULT_SIZE_CLASSES,
+    DEFAULT_TENANTS,
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    KeySkew,
     OpenLoopWorkload,
     PoissonWorkload,
     RequestMix,
     ServiceCatalog,
     ServiceRequest,
     SizeClass,
+    TenantClass,
 )
 
 __all__ = [
@@ -61,6 +67,7 @@ __all__ = [
     "Batch",
     "BatchCoalescer",
     "AcceleratorShard",
+    "ArrivalOutcome",
     "SerializationServer",
     "ServiceConfig",
     "SoftwareLane",
@@ -69,10 +76,15 @@ __all__ = [
     "BurstyWorkload",
     "CatalogEntry",
     "DEFAULT_SIZE_CLASSES",
+    "DEFAULT_TENANTS",
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
+    "KeySkew",
     "OpenLoopWorkload",
     "PoissonWorkload",
     "RequestMix",
     "ServiceCatalog",
     "ServiceRequest",
     "SizeClass",
+    "TenantClass",
 ]

@@ -30,6 +30,7 @@ software lane. Those are counted separately as fault fallbacks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.common.errors import ConfigError
 
@@ -46,12 +47,34 @@ class AdmissionConfig:
     max_outstanding: int = 1024
     degrade_threshold: float = 0.75
     enable_degrade: bool = True
+    #: Per-QoS-priority capacity shares, indexed by request priority
+    #: (0 = most protected; priorities past the end clamp to the last
+    #: entry). A request of priority ``p`` sees an *effective* queue of
+    #: ``max_outstanding * priority_shares[p]`` slots, so under pressure
+    #: best-effort tenants degrade and shed first while the protected
+    #: class keeps the full queue. The default single-entry tuple makes
+    #: every priority identical — exactly the pre-QoS behaviour.
+    priority_shares: Tuple[float, ...] = (1.0,)
 
     def __post_init__(self) -> None:
         if self.max_outstanding <= 0:
             raise ConfigError("max_outstanding must be positive")
         if not 0.0 < self.degrade_threshold <= 1.0:
             raise ConfigError("degrade_threshold must be in (0, 1]")
+        if not self.priority_shares:
+            raise ConfigError("priority_shares must be non-empty")
+        for share in self.priority_shares:
+            if not 0.0 < share <= 1.0:
+                raise ConfigError("priority shares must be in (0, 1]")
+        if self.priority_shares[0] != max(self.priority_shares):
+            raise ConfigError(
+                "priority 0 must hold the largest capacity share"
+            )
+
+    def share_for(self, priority: int) -> float:
+        """The capacity share of ``priority`` (clamped to the table)."""
+        index = min(max(priority, 0), len(self.priority_shares) - 1)
+        return self.priority_shares[index]
 
 
 class AdmissionController:
@@ -65,6 +88,8 @@ class AdmissionController:
         self.degraded = 0
         self.shed = 0
         self.rejected = 0
+        self.shed_by_priority: Dict[int, int] = {}
+        self.degraded_by_priority: Dict[int, int] = {}
 
     def reject_malformed(self, reason: str = "malformed") -> str:
         """A payload the hardened decoder refused; occupies no slot.
@@ -81,19 +106,31 @@ class AdmissionController:
         ).inc()
         return DECISION_REJECT
 
-    def decide(self) -> str:
-        """Decision for one arriving request; occupies a slot unless shed."""
-        if self.outstanding >= self.config.max_outstanding:
+    def decide(self, priority: int = 0) -> str:
+        """Decision for one arriving request; occupies a slot unless shed.
+
+        ``priority`` is the request's QoS class (0 = most protected): the
+        shed and degrade thresholds both scale by that class's capacity
+        share, so lower classes hit them at lower occupancy. The default
+        priority sees the full queue — identical to the pre-QoS policy.
+        """
+        effective = self.config.share_for(priority) * self.config.max_outstanding
+        if self.outstanding >= effective:
             self.shed += 1
+            self.shed_by_priority[priority] = (
+                self.shed_by_priority.get(priority, 0) + 1
+            )
             return DECISION_SHED
         decision = DECISION_ADMIT
         if (
             self.config.enable_degrade
-            and self.outstanding
-            >= self.config.degrade_threshold * self.config.max_outstanding
+            and self.outstanding >= self.config.degrade_threshold * effective
         ):
             decision = DECISION_DEGRADE
             self.degraded += 1
+            self.degraded_by_priority[priority] = (
+                self.degraded_by_priority.get(priority, 0) + 1
+            )
         self.admitted += 1
         self.outstanding += 1
         self.peak_outstanding = max(self.peak_outstanding, self.outstanding)

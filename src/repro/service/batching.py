@@ -155,6 +155,29 @@ class BatchCoalescer:
                 batches.append(self._close(kind, now_ns))
         return batches
 
+    def pending_requests(self) -> List[ServiceRequest]:
+        """Requests admitted but not yet dispatched (open groups), in
+        arrival order. Failover uses this to reap a failed node's
+        coalescer without dispatching anything."""
+        pending: List[ServiceRequest] = []
+        for kind in KINDS:
+            group = self._pending.get(kind)
+            if group is not None:
+                pending.extend(group.requests)
+        return pending
+
+    def clear_pending(self) -> int:
+        """Drop every open group (the node died with them); returns the
+        number of requests discarded. They were never counted as batched,
+        so ``mean_batch_size`` stays truthful."""
+        dropped = 0
+        for kind in KINDS:
+            group = self._pending.get(kind)
+            if group is not None:
+                dropped += len(group.requests)
+                self._pending[kind] = None
+        return dropped
+
     @property
     def mean_batch_size(self) -> float:
         if self.batches_closed == 0:

@@ -199,6 +199,7 @@ class AcceleratorShard:
         overhead_ns: float,
         tracer: Optional[Tracer] = None,
         parent=None,
+        track: Optional[str] = None,
     ) -> List[Tuple[ServiceRequest, float]]:
         """Run the batch through the real device simulator.
 
@@ -249,7 +250,7 @@ class AcceleratorShard:
                 tracer,
                 base_ns=start,
                 parent=parent,
-                track=f"shard{self.shard_id}",
+                track=track if track is not None else f"shard{self.shard_id}",
             )
         self.busy_until = start + run.wall_time_ns
         finishes = []
@@ -289,8 +290,33 @@ class SoftwareLane:
         return finish
 
 
+@dataclass
+class ArrivalOutcome:
+    """What one arrival did to the server (incremental/cluster driving).
+
+    ``completions`` are ``(finish_ns, request_id)`` markers for every
+    request whose finish time became known; ``deadline`` — when set — is a
+    ``(deadline_ns, kind, seq)`` batch-flush event the driver must
+    schedule and later deliver via :meth:`SerializationServer.on_deadline`.
+    """
+
+    completions: List[Tuple[float, int]] = dataclass_field(default_factory=list)
+    deadline: Optional[Tuple[float, str, int]] = None
+
+
 class SerializationServer:
-    """Discrete-event simulation of the sharded serialization service."""
+    """Discrete-event simulation of the sharded serialization service.
+
+    Two driving modes share the same event handlers:
+
+    * :meth:`run` owns the event heap — the standalone single-server mode
+      every existing bench and test uses;
+    * the incremental API (:meth:`register` / :meth:`on_arrival` /
+      :meth:`on_deadline` / :meth:`flush_remaining`) lets an external
+      event loop — :class:`repro.cluster.SerializationCluster` — interleave
+      many servers on one shared virtual clock, scheduling the batch
+      deadlines each server hands back.
+    """
 
     def __init__(
         self,
@@ -298,6 +324,7 @@ class SerializationServer:
         config: Optional[ServiceConfig] = None,
         injector: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
+        node_id: str = "",
     ):
         self.catalog = catalog
         self.config = config or ServiceConfig()
@@ -307,6 +334,13 @@ class SerializationServer:
         # process-wide one. Disabled (the default) every hook below is a
         # single attribute check.
         self.tracer = tracer if tracer is not None else get_tracer()
+        #: Cluster identity: prefixes every span track this server emits
+        #: (``node0.shard1``, ...) so one Chrome trace can hold N nodes.
+        self.node_id = node_id
+        self._track_prefix = f"{node_id}." if node_id else ""
+        #: Optional parent span (the node's lifetime span) batch spans
+        #: nest under in cluster traces.
+        self.trace_parent = None
         self.shards = [
             AcceleratorShard(
                 shard_id,
@@ -329,6 +363,13 @@ class SerializationServer:
         self.verified_requests = 0
         self._rr_next = 0
         self._functional_counter = 0
+        self._records: Dict[int, RequestRecord] = {}
+        #: ``(finish_ns, request_id)`` of admitted-but-unfinished requests;
+        #: drained to release admission slots, reaped on node failure.
+        self._inflight: List[Tuple[float, int]] = []
+
+    def _track(self, name: str) -> str:
+        return self._track_prefix + name
 
     # -- routing ---------------------------------------------------------------------
 
@@ -404,6 +445,7 @@ class SerializationServer:
         record.finish_ns = finish
         record.outcome = OUTCOME_DEGRADED
         record.backend = BACKEND_SOFTWARE
+        record.node = self.node_id
         if batch is not None:
             record.batch_id = batch.batch_id
             record.batch_size = batch.size
@@ -439,7 +481,8 @@ class SerializationServer:
                     now_ns,
                     max(f for f, _ in completions),
                     category="batch",
-                    track="software",
+                    track=self._track("software"),
+                    parent=self.trace_parent,
                     batch_id=batch.batch_id,
                     kind=batch.kind,
                     size=batch.size,
@@ -456,7 +499,8 @@ class SerializationServer:
                 now_ns,
                 now_ns,
                 category="batch",
-                track=f"shard{shard.shard_id}",
+                track=self._track(f"shard{shard.shard_id}"),
+                parent=self.trace_parent,
                 batch_id=batch.batch_id,
                 kind=batch.kind,
                 size=batch.size,
@@ -469,6 +513,7 @@ class SerializationServer:
                 self.config.dispatch_overhead_ns,
                 tracer=tracer,
                 parent=batch_span,
+                track=self._track(f"shard{shard.shard_id}"),
             )
         else:
             finishes = shard.service_analytic(
@@ -484,6 +529,7 @@ class SerializationServer:
             record.backend = BACKEND_CEREAL
             record.batch_id = batch.batch_id
             record.batch_size = batch.size
+            record.node = self.node_id
             completions.append((finish, request.request_id))
             if self.config.engine != "device" and self._should_verify():
                 self._verify(request, BACKEND_CEREAL)
@@ -518,7 +564,7 @@ class SerializationServer:
                     name,
                     ts_ns=record.arrival_ns,
                     category="request",
-                    track="requests",
+                    track=self._track("requests"),
                     request_id=record.request_id,
                 )
                 continue
@@ -527,7 +573,7 @@ class SerializationServer:
                 record.arrival_ns,
                 record.finish_ns,
                 category="request",
-                track="requests",
+                track=self._track("requests"),
                 request_id=record.request_id,
                 kind=record.kind,
                 size_class=record.size_class,
@@ -541,7 +587,7 @@ class SerializationServer:
                 record.arrival_ns,
                 record.dispatch_ns,
                 category="request",
-                track="requests",
+                track=self._track("requests"),
                 parent=parent,
                 request_id=record.request_id,
             )
@@ -550,25 +596,123 @@ class SerializationServer:
                 record.dispatch_ns,
                 record.finish_ns,
                 category="request",
-                track="requests",
+                track=self._track("requests"),
                 parent=parent,
                 request_id=record.request_id,
                 backend=record.backend,
             )
 
+    # -- incremental event API (cluster driving) ------------------------------------------
+
+    def register(self, request: ServiceRequest) -> RequestRecord:
+        """Create (and index) the record for a request this server will see."""
+        record = RequestRecord(
+            request_id=request.request_id,
+            kind=request.kind,
+            size_class=request.entry.name,
+            arrival_ns=request.arrival_ns,
+            tenant=request.tenant,
+            priority=request.priority,
+        )
+        self._records[request.request_id] = record
+        return record
+
+    def adopt(self, record: RequestRecord) -> None:
+        """Index an externally owned record — failover re-routes a failed
+        node's record to a replica without losing its history."""
+        self._records[record.request_id] = record
+
+    def drain(self, now_ns: float) -> None:
+        """Release admission slots for every completion at or before now."""
+        while self._inflight and self._inflight[0][0] <= now_ns:
+            heapq.heappop(self._inflight)
+            self.admission.release()
+
+    @property
+    def inflight_count(self) -> int:
+        """Admitted requests whose finish time has not yet passed."""
+        return len(self._inflight)
+
+    def _note_completions(self, completions: List[Tuple[float, int]]) -> None:
+        for finish, request_id in completions:
+            heapq.heappush(self._inflight, (finish, request_id))
+
+    def reap_inflight(self, now_ns: float) -> List[int]:
+        """Node death: ids of admitted requests whose finish is still in
+        the future (their work is lost); frees every admission slot."""
+        self.drain(now_ns)
+        lost = [request_id for _, request_id in self._inflight]
+        for _ in self._inflight:
+            self.admission.release()
+        self._inflight = []
+        return lost
+
+    def on_arrival(self, request: ServiceRequest, now_ns: float) -> ArrivalOutcome:
+        """Admit/shed/degrade/coalesce one arriving request."""
+        self.drain(now_ns)
+        arrival = ArrivalOutcome()
+        record = self._records[request.request_id]
+        if request.malformed:
+            # The hardened decode path refuses the payload with a typed
+            # error before admission: no queue slot, no latency sample — a
+            # shed class of its own.
+            self.admission.reject_malformed()
+            record.outcome = OUTCOME_REJECTED
+            record.backend = BACKEND_NONE
+            record.dispatch_ns = now_ns
+            record.finish_ns = now_ns
+            return arrival
+        decision = self.admission.decide(priority=request.priority)
+        if decision == DECISION_SHED:
+            record.outcome = OUTCOME_SHED
+            record.backend = BACKEND_NONE
+            record.dispatch_ns = now_ns
+            record.finish_ns = now_ns
+            return arrival
+        if decision == DECISION_DEGRADE:
+            self._serve_software(request, now_ns, record)
+            arrival.completions.append((record.finish_ns, request.request_id))
+        else:
+            outcome = self.coalescer.add(request, now_ns)
+            if outcome.batch is not None:
+                arrival.completions.extend(
+                    self._dispatch(outcome.batch, now_ns)
+                )
+            elif outcome.opened_seq is not None:
+                arrival.deadline = (
+                    outcome.deadline_ns, request.kind, outcome.opened_seq
+                )
+        self._note_completions(arrival.completions)
+        return arrival
+
+    def on_deadline(
+        self, kind: str, seq: int, now_ns: float
+    ) -> List[Tuple[float, int]]:
+        """Deliver a batch-wait deadline; stale seqs are no-ops."""
+        self.drain(now_ns)
+        batch = self.coalescer.flush_due(kind, seq, now_ns)
+        if batch is None:
+            return []
+        completions = self._dispatch(batch, now_ns)
+        self._note_completions(completions)
+        return completions
+
+    def flush_remaining(self, now_ns: float) -> List[Tuple[float, int]]:
+        """End-of-run drain: dispatch every still-open coalescer group."""
+        completions: List[Tuple[float, int]] = []
+        for batch in self.coalescer.flush_all(now_ns):
+            completions.extend(self._dispatch(batch, now_ns))
+        self._note_completions(completions)
+        return completions
+
     # -- the event loop ----------------------------------------------------------------------
 
     def run(self, requests: Sequence[ServiceRequest]) -> SLOReport:
         """Simulate the full request sequence; returns the SLO report."""
-        self._records = {
-            r.request_id: RequestRecord(
-                request_id=r.request_id,
-                kind=r.kind,
-                size_class=r.entry.name,
-                arrival_ns=r.arrival_ns,
-            )
-            for r in requests
-        }
+        self._records = {}
+        self._inflight = []
+        for request in requests:
+            self.register(request)
         if len(self._records) != len(requests):
             raise ConfigError("request_ids must be unique within one run")
 
@@ -578,71 +722,27 @@ class SerializationServer:
             events.append((request.arrival_ns, tiebreak, "arrival", request))
             tiebreak += 1
         heapq.heapify(events)
-        inflight: List[float] = []  # completion times of admitted requests
-
-        def drain(now_ns: float) -> None:
-            while inflight and inflight[0] <= now_ns:
-                heapq.heappop(inflight)
-                self.admission.release()
-
-        def track(completions: List[Tuple[float, int]]) -> None:
-            for finish, _ in completions:
-                heapq.heappush(inflight, finish)
 
         tracer = self.tracer
         while events:
             now_ns, _, etype, payload = heapq.heappop(events)
             tracer.advance(now_ns)
-            drain(now_ns)
             if etype == "arrival":
-                request = payload
-                record = self._records[request.request_id]
-                if request.malformed:
-                    # The hardened decode path refuses the payload with a
-                    # typed error before admission: no queue slot, no
-                    # latency sample — a shed class of its own.
-                    self.admission.reject_malformed()
-                    record.outcome = OUTCOME_REJECTED
-                    record.backend = BACKEND_NONE
-                    record.dispatch_ns = now_ns
-                    record.finish_ns = now_ns
-                    continue
-                decision = self.admission.decide()
-                if decision == DECISION_SHED:
-                    record.outcome = OUTCOME_SHED
-                    record.backend = BACKEND_NONE
-                    record.dispatch_ns = now_ns
-                    record.finish_ns = now_ns
-                    continue
-                if decision == DECISION_DEGRADE:
-                    self._serve_software(request, now_ns, record)
-                    track([(record.finish_ns, request.request_id)])
-                    continue
-                outcome = self.coalescer.add(request, now_ns)
-                if outcome.batch is not None:
-                    track(self._dispatch(outcome.batch, now_ns))
-                elif outcome.opened_seq is not None:
+                arrival = self.on_arrival(payload, now_ns)
+                if arrival.deadline is not None:
+                    deadline_ns, kind, seq = arrival.deadline
                     tiebreak += 1
                     heapq.heappush(
-                        events,
-                        (
-                            outcome.deadline_ns,
-                            tiebreak,
-                            "deadline",
-                            (request.kind, outcome.opened_seq),
-                        ),
+                        events, (deadline_ns, tiebreak, "deadline", (kind, seq))
                     )
             else:  # deadline
                 kind, seq = payload
-                batch = self.coalescer.flush_due(kind, seq, now_ns)
-                if batch is not None:
-                    track(self._dispatch(batch, now_ns))
+                self.on_deadline(kind, seq, now_ns)
         # Safety drain: every opened group had a deadline event, so this is
         # normally empty, but a zero-wait config flushed inline never opens
         # groups and end-of-sequence semantics must not depend on that.
         last = max((r.arrival_ns for r in requests), default=0.0)
-        for batch in self.coalescer.flush_all(last):
-            self._dispatch(batch, last)
+        self.flush_remaining(last)
 
         if tracer.enabled:
             self._emit_request_spans(requests)

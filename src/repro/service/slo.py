@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.report import ReportTable
 from repro.faults.report import FaultReport
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import Histogram, exact_quantile
 
 OUTCOME_OK = "ok"
 OUTCOME_DEGRADED = "degraded"
@@ -48,6 +48,16 @@ class RequestRecord:
     backend: str = BACKEND_CEREAL
     batch_id: int = -1
     batch_size: int = 1
+    #: Multi-tenant QoS identity (empty outside tenant-mix workloads).
+    tenant: str = ""
+    priority: int = 0
+    #: The cluster node that finally served the request ("" when the run
+    #: is a single standalone server).
+    node: str = ""
+    #: Failover re-executions: how many times the request was re-routed
+    #: after a node loss. Latency always spans arrival to *final* finish,
+    #: so retries are inside the SLO, never hidden by it.
+    retries: int = 0
 
     @property
     def completed(self) -> bool:
@@ -122,6 +132,11 @@ class SLOReport:
     @property
     def degraded_requests(self) -> int:
         return sum(1 for r in self.records if r.outcome == OUTCOME_DEGRADED)
+
+    @property
+    def retried_requests(self) -> int:
+        """Requests re-executed at least once after a node failover."""
+        return sum(1 for r in self.records if r.retries > 0)
 
     @property
     def shed_rate(self) -> float:
@@ -229,6 +244,7 @@ class SLOReport:
                 "shed": self.shed_requests,
                 "rejected": self.rejected_requests,
                 "degraded": self.degraded_requests,
+                "retried": self.retried_requests,
                 "verified": self.verified_requests,
             },
             "latency_ns": {},
@@ -253,6 +269,28 @@ class SLOReport:
             entry["mean"] = self.mean_latency_ns(kind)
             entry["max"] = self.max_latency_ns(kind)
             summary["latency_ns"][kind] = entry
+        tenants = sorted({r.tenant for r in self.records if r.tenant})
+        if tenants:
+            summary["tenants"] = {}
+            for tenant in tenants:
+                population = [r for r in self.records if r.tenant == tenant]
+                done = sorted(
+                    r.latency_ns for r in population if r.completed
+                )
+                entry = {
+                    "total": len(population),
+                    "completed": len(done),
+                    "shed": sum(
+                        1 for r in population if r.outcome == OUTCOME_SHED
+                    ),
+                    "degraded": sum(
+                        1 for r in population if r.outcome == OUTCOME_DEGRADED
+                    ),
+                    "priority": population[0].priority,
+                }
+                if done:
+                    entry["p99_ns"] = exact_quantile(done, 99.0)
+                summary["tenants"][tenant] = entry
         if self.runtime_caches is not None:
             summary["runtime_caches"] = self.runtime_caches
         if self.fault_report is not None:

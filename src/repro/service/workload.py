@@ -225,6 +225,16 @@ class ServiceRequest:
     #: The payload is adversarial/corrupt: the hardened decode path will
     #: refuse it at admission instead of occupying a queue slot.
     malformed: bool = False
+    #: Routing identity for the cluster layer: consistent-hash placement
+    #: keys on this (hot-key skew makes some keys vastly more popular).
+    #: Empty means "no affinity" — single-server runs never set it.
+    key: str = ""
+    #: Multi-tenant QoS: the owning tenant and its admission priority
+    #: (0 = highest). Per-tenant shed/degrade thresholds key on priority.
+    tenant: str = ""
+    priority: int = 0
+    #: Client locality zone, consumed by locality-aware cluster routing.
+    zone: str = ""
 
     @property
     def payload_bytes(self) -> int:
@@ -260,13 +270,89 @@ class RequestMix:
             raise ConfigError("size_weights must have positive total weight")
 
 
+@dataclass(frozen=True)
+class KeySkew:
+    """Zipfian hot-key popularity over a bounded key space.
+
+    Request keys are drawn rank-proportional to ``1 / rank**exponent``:
+    with the default exponent ~1.1 the hottest key absorbs a double-digit
+    percentage of all traffic, which is what makes consistent-hash
+    placement interesting (one ring segment melts while others idle).
+    """
+
+    key_space: int = 1024
+    exponent: float = 1.1
+    prefix: str = "key"
+
+    def __post_init__(self) -> None:
+        if self.key_space <= 0:
+            raise ConfigError("key_space must be positive")
+        if self.exponent < 0.0:
+            raise ConfigError("exponent must be non-negative")
+
+    def cumulative_weights(self) -> List[float]:
+        weights: List[float] = []
+        total = 0.0
+        for rank in range(1, self.key_space + 1):
+            total += 1.0 / (rank ** self.exponent)
+            weights.append(total)
+        return weights
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One QoS class in a multi-tenant mix.
+
+    ``priority`` indexes :attr:`AdmissionConfig.priority_shares` (0 is
+    the most protected); ``zone`` is the locality hint cluster routing
+    consumes. Weights are relative draw probabilities.
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 0
+    zone: str = ""
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError("tenant weight must be positive")
+        if self.priority < 0:
+            raise ConfigError("tenant priority must be non-negative")
+
+
+#: Default three-class tenant mix: a protected interactive tenant, a
+#: bulk-analytics tenant, and a best-effort batch tenant across two zones.
+DEFAULT_TENANTS: Tuple[TenantClass, ...] = (
+    TenantClass("interactive", weight=0.5, priority=0, zone="zone-a"),
+    TenantClass("analytics", weight=0.3, priority=1, zone="zone-b"),
+    TenantClass("batch", weight=0.2, priority=2, zone="zone-a"),
+)
+
+
+# Substream tags: every draw category gets its own xorshift stream seeded
+# from ``(seed << 1) ^ tag``, so adding a traffic shape (or turning a
+# feature on) can never perturb the draws of another. The first five tags
+# predate the cluster layer and must never change — seeded workload tests
+# and recorded benchmark trajectories depend on those exact sequences.
+_STREAM_ARRIVAL = 0xA881_17A1
+_STREAM_KIND = 0x5EED_0002
+_STREAM_SIZE = 0x5EED_0003
+_STREAM_PHASE = 0x5EED_0004
+_STREAM_MALFORMED = 0x5EED_0005
+_STREAM_KEY = 0x5EED_0006
+_STREAM_TENANT = 0x5EED_0007
+
+
 class OpenLoopWorkload:
     """Base open-loop generator: seeded Poisson arrivals at a target QPS.
 
     Arrival times come from a unit-rate exponential sequence divided by
-    ``qps``; request kinds and sizes come from *separate* seeded streams
-    that never consume arrival draws. Changing ``qps`` therefore rescales
-    the timeline without reshuffling the request sequence.
+    ``qps``; request kinds, sizes, hot keys, and tenants come from
+    *separate* seeded substreams (:meth:`_stream`) that never consume each
+    other's draws. Changing ``qps`` therefore rescales the timeline
+    without reshuffling the request sequence, and enabling key skew or a
+    tenant mix decorates the same request sequence without moving a
+    single arrival.
     """
 
     def __init__(
@@ -276,6 +362,8 @@ class OpenLoopWorkload:
         seed: int = 0,
         mix: Optional[RequestMix] = None,
         malformed_fraction: float = 0.0,
+        keys: Optional[KeySkew] = None,
+        tenants: Optional[Sequence[TenantClass]] = None,
     ):
         if qps <= 0:
             raise ConfigError(f"qps must be positive, got {qps}")
@@ -288,17 +376,46 @@ class OpenLoopWorkload:
         self.seed = seed
         self.mix = mix or RequestMix()
         self.malformed_fraction = malformed_fraction
+        self.keys = keys
+        self.tenants = tuple(tenants) if tenants else ()
 
     # -- overridable pieces --------------------------------------------------------
 
+    def _stream(self, tag: int) -> DeterministicRandom:
+        """The seeded substream for one draw category (see tag table)."""
+        return DeterministicRandom(seed=(self.seed << 1) ^ tag)
+
     def _unit_gaps(self) -> List[float]:
         """Unit-rate inter-arrival gaps (mean 1.0) before QPS scaling."""
-        rng = DeterministicRandom(seed=(self.seed << 1) ^ 0xA881_17A1)
+        rng = self._stream(_STREAM_ARRIVAL)
         gaps = []
         for _ in range(self.num_requests):
             u = rng.random()
             gaps.append(-log(1.0 - u))
         return gaps
+
+    # -- per-request decoration (keys, tenants) ------------------------------------
+
+    def _draw_key(self, rng: DeterministicRandom) -> str:
+        assert self.keys is not None
+        cumulative = self._key_cumulative
+        draw = rng.random() * cumulative[-1]
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] > draw:
+                hi = mid
+            else:
+                lo = mid + 1
+        return f"{self.keys.prefix}-{lo}"
+
+    def _draw_tenant(self, rng: DeterministicRandom) -> TenantClass:
+        draw = rng.random() * self._tenant_total
+        for tenant in self.tenants:
+            if draw < tenant.weight:
+                return tenant
+            draw -= tenant.weight
+        return self.tenants[-1]
 
     # -- generation --------------------------------------------------------------------
 
@@ -314,11 +431,18 @@ class OpenLoopWorkload:
             )
         weights = [self.mix.size_weights[name] for name in names]
         total_weight = sum(weights)
-        kind_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0002)
-        size_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0003)
+        kind_rng = self._stream(_STREAM_KIND)
+        size_rng = self._stream(_STREAM_SIZE)
         # Malformed flags come from their own stream so turning the
-        # fraction on or off never reshuffles kinds, sizes, or arrivals.
-        malformed_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0005)
+        # fraction on or off never reshuffles kinds, sizes, or arrivals —
+        # and likewise keys and tenants below.
+        malformed_rng = self._stream(_STREAM_MALFORMED)
+        key_rng = self._stream(_STREAM_KEY)
+        tenant_rng = self._stream(_STREAM_TENANT)
+        if self.keys is not None:
+            self._key_cumulative = self.keys.cumulative_weights()
+        if self.tenants:
+            self._tenant_total = sum(t.weight for t in self.tenants)
         scale_ns = 1e9 / self.qps
         clock = 0.0
         requests: List[ServiceRequest] = []
@@ -336,6 +460,14 @@ class OpenLoopWorkload:
                     break
                 draw -= weight
             malformed = malformed_rng.random() < self.malformed_fraction
+            key = self._draw_key(key_rng) if self.keys is not None else ""
+            if self.tenants:
+                tenant = self._draw_tenant(tenant_rng)
+                tenant_name, priority, zone = (
+                    tenant.name, tenant.priority, tenant.zone,
+                )
+            else:
+                tenant_name, priority, zone = "", 0, ""
             requests.append(
                 ServiceRequest(
                     request_id=index,
@@ -343,6 +475,10 @@ class OpenLoopWorkload:
                     entry=catalog.entry(chosen),
                     arrival_ns=clock,
                     malformed=malformed,
+                    key=key,
+                    tenant=tenant_name,
+                    priority=priority,
+                    zone=zone,
                 )
             )
         return requests
@@ -371,6 +507,8 @@ class BurstyWorkload(OpenLoopWorkload):
         burst_fraction: float = 0.25,
         mean_phase_requests: int = 32,
         malformed_fraction: float = 0.0,
+        keys: Optional[KeySkew] = None,
+        tenants: Optional[Sequence[TenantClass]] = None,
     ):
         super().__init__(
             qps,
@@ -378,6 +516,8 @@ class BurstyWorkload(OpenLoopWorkload):
             seed=seed,
             mix=mix,
             malformed_fraction=malformed_fraction,
+            keys=keys,
+            tenants=tenants,
         )
         if burst_factor < 1.0:
             raise ConfigError("burst_factor must be >= 1")
@@ -391,7 +531,7 @@ class BurstyWorkload(OpenLoopWorkload):
 
     def _unit_gaps(self) -> List[float]:
         gaps = super()._unit_gaps()
-        phase_rng = DeterministicRandom(seed=(self.seed << 1) ^ 0x5EED_0004)
+        phase_rng = self._stream(_STREAM_PHASE)
         # Slow-phase stretch chosen so the long-run mean gap stays 1.0:
         #   burst_fraction / factor + (1 - burst_fraction) * stretch == 1.
         stretch = (1.0 - self.burst_fraction / self.burst_factor) / (
@@ -428,3 +568,119 @@ class BurstyWorkload(OpenLoopWorkload):
                 index += 1
             in_burst = not in_burst
         return shaped
+
+
+class DiurnalWorkload(OpenLoopWorkload):
+    """Sinusoidal day/night rate modulation at a preserved mean rate.
+
+    The arrival rate follows ``1 + amplitude * sin(...)`` over
+    ``period_requests``-request "days" (gaps divide by the instantaneous
+    rate), then the whole gap sequence is renormalized to mean 1.0 so the
+    long-run rate is exactly ``qps``. Deterministic in the request index —
+    no extra rng draws, so composing it with key skew or tenant mixes
+    reuses the identical request sequence.
+    """
+
+    def __init__(
+        self,
+        qps: float,
+        num_requests: int,
+        seed: int = 0,
+        mix: Optional[RequestMix] = None,
+        amplitude: float = 0.6,
+        period_requests: int = 1000,
+        phase: float = 0.0,
+        malformed_fraction: float = 0.0,
+        keys: Optional[KeySkew] = None,
+        tenants: Optional[Sequence[TenantClass]] = None,
+    ):
+        super().__init__(
+            qps,
+            num_requests,
+            seed=seed,
+            mix=mix,
+            malformed_fraction=malformed_fraction,
+            keys=keys,
+            tenants=tenants,
+        )
+        if not 0.0 <= amplitude < 1.0:
+            raise ConfigError("amplitude must be in [0, 1)")
+        if period_requests <= 1:
+            raise ConfigError("period_requests must be > 1")
+        self.amplitude = amplitude
+        self.period_requests = period_requests
+        self.phase = phase
+
+    def _unit_gaps(self) -> List[float]:
+        from math import pi, sin
+
+        gaps = super()._unit_gaps()
+        shaped = []
+        for index, gap in enumerate(gaps):
+            rate = 1.0 + self.amplitude * sin(
+                2.0 * pi * index / self.period_requests + self.phase
+            )
+            shaped.append(gap / rate)
+        mean = sum(shaped) / len(shaped)
+        return [gap / mean for gap in shaped]
+
+
+class FlashCrowdWorkload(OpenLoopWorkload):
+    """Baseline Poisson traffic with one sudden, sustained rate spike.
+
+    Requests whose index falls inside the crowd window arrive at
+    ``spike_factor`` times the baseline rate (their gaps divide by the
+    factor); everything outside the window is untouched, so the spike
+    *adds* load rather than conserving it — the scenario a reactive
+    autoscaler exists for. Deterministic in the request index, no extra
+    rng draws.
+    """
+
+    def __init__(
+        self,
+        qps: float,
+        num_requests: int,
+        seed: int = 0,
+        mix: Optional[RequestMix] = None,
+        spike_factor: float = 6.0,
+        spike_start_fraction: float = 0.4,
+        spike_duration_fraction: float = 0.2,
+        malformed_fraction: float = 0.0,
+        keys: Optional[KeySkew] = None,
+        tenants: Optional[Sequence[TenantClass]] = None,
+    ):
+        super().__init__(
+            qps,
+            num_requests,
+            seed=seed,
+            mix=mix,
+            malformed_fraction=malformed_fraction,
+            keys=keys,
+            tenants=tenants,
+        )
+        if spike_factor < 1.0:
+            raise ConfigError("spike_factor must be >= 1")
+        if not 0.0 <= spike_start_fraction < 1.0:
+            raise ConfigError("spike_start_fraction must be in [0, 1)")
+        if not 0.0 < spike_duration_fraction <= 1.0:
+            raise ConfigError("spike_duration_fraction must be in (0, 1]")
+        self.spike_factor = spike_factor
+        self.spike_start_fraction = spike_start_fraction
+        self.spike_duration_fraction = spike_duration_fraction
+
+    def spike_window(self) -> Tuple[int, int]:
+        """[start, end) request indices of the crowd."""
+        start = int(self.num_requests * self.spike_start_fraction)
+        end = min(
+            self.num_requests,
+            start + max(1, int(self.num_requests * self.spike_duration_fraction)),
+        )
+        return start, end
+
+    def _unit_gaps(self) -> List[float]:
+        gaps = super()._unit_gaps()
+        start, end = self.spike_window()
+        return [
+            gap / self.spike_factor if start <= index < end else gap
+            for index, gap in enumerate(gaps)
+        ]

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.common.errors import ConfigError
+from repro.common.hashing import stable_hash
 from repro.jvm.heap import Heap, HeapObject
 from repro.jvm.klass import FieldDescriptor, FieldKind, InstanceKlass, KlassRegistry
 from repro.workloads.datagen import DeterministicRandom
@@ -135,7 +136,7 @@ def build_tree_bench(heap: Heap, config: MicrobenchConfig) -> HeapObject:
     register_micro_klasses(heap.registry)
     klass_name = f"TreeNode{config.fanout}"
     budget = config.scaled_objects
-    rng = DeterministicRandom(seed=hash(config.name) & 0xFFFF_FFFF | 1)
+    rng = DeterministicRandom(seed=stable_hash(config.name) & 0xFFFF_FFFF | 1)
 
     def new_node(depth: int) -> HeapObject:
         node = heap.new_instance(klass_name)
@@ -169,7 +170,7 @@ def build_list_bench(heap: Heap, config: MicrobenchConfig) -> HeapObject:
     if config.shape != "list":
         raise ConfigError(f"{config.name} is not a list config")
     register_micro_klasses(heap.registry)
-    rng = DeterministicRandom(seed=hash(config.name) & 0xFFFF_FFFF | 1)
+    rng = DeterministicRandom(seed=stable_hash(config.name) & 0xFFFF_FFFF | 1)
     length = config.scaled_objects
     head = heap.new_instance("ListNode")
     head.set("value", 0)
@@ -194,7 +195,7 @@ def build_graph_bench(heap: Heap, config: MicrobenchConfig) -> HeapObject:
     if config.shape != "graph":
         raise ConfigError(f"{config.name} is not a graph config")
     register_micro_klasses(heap.registry)
-    rng = DeterministicRandom(seed=hash(config.name) & 0xFFFF_FFFF | 1)
+    rng = DeterministicRandom(seed=stable_hash(config.name) & 0xFFFF_FFFF | 1)
     count = config.scaled_objects
     fanout = min(config.fanout, count - 1)
 

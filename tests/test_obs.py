@@ -176,6 +176,105 @@ class TestHistogram:
         assert hist.min == math.inf
 
 
+class TestHistogramMerge:
+    def test_merge_preserves_exact_quantiles(self):
+        """Two small histograms merge into the exact union distribution."""
+        a = Histogram("lat", exact_limit=100)
+        b = Histogram("lat", exact_limit=100)
+        left = [1.0, 9.0, 5.0]
+        right = [2.0, 8.0]
+        for value in left:
+            a.observe(value)
+        for value in right:
+            b.observe(value)
+        merged = a.merge(b)
+        assert merged is a
+        union = sorted(left + right)
+        assert a.exact
+        assert a.count == 5
+        assert a.min == 1.0 and a.max == 9.0
+        for q in (0.0, 25.0, 50.0, 75.0, 100.0):
+            assert a.quantile(q) == exact_quantile(union, q)
+
+    def test_merge_matches_single_histogram(self):
+        """merge(split streams) == observe(everything in one histogram)."""
+        whole = Histogram("lat", exact_limit=64)
+        parts = [Histogram("lat", exact_limit=64) for _ in range(3)]
+        values = [float((7 * k) % 23 + 1) for k in range(30)]
+        for index, value in enumerate(values):
+            whole.observe(value)
+            parts[index % 3].observe(value)
+        target = parts[0]
+        target.merge(parts[1]).merge(parts[2])
+        assert target.count == whole.count
+        assert target.total == whole.total
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert target.quantile(q) == whole.quantile(q)
+
+    def test_merge_beyond_reservoir_degrades_to_buckets(self):
+        a = Histogram("lat", exact_limit=4)
+        b = Histogram("lat", exact_limit=4)
+        for value in (1.0, 2.0, 4.0):
+            a.observe(value)
+        for value in (8.0, 16.0, 32.0):
+            b.observe(value)
+        a.merge(b)
+        assert not a.exact  # 6 samples > exact_limit=4
+        assert a.count == 6
+        assert a.quantile(0.0) == 1.0
+        assert a.quantile(100.0) == 32.0
+
+    def test_merge_empty_is_noop(self):
+        a = Histogram("lat")
+        a.observe(3.0)
+        before = a.summary()
+        a.merge(Histogram("lat"))
+        assert a.summary() == before
+
+    def test_merge_into_empty_adopts_bounds(self):
+        a = Histogram("lat")
+        b = Histogram("lat")
+        b.observe(7.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.min == a.max == 7.0
+        assert a.quantile(50.0) == 7.0
+
+
+class TestRegistryMerge:
+    def test_merge_snapshot_combines_all_metric_kinds(self):
+        main = MetricsRegistry(enabled=True)
+        node = MetricsRegistry(enabled=True)
+        main.counter("reqs", node="n0").inc(2)
+        node.counter("reqs", node="n0").inc(3)
+        node.counter("reqs", node="n1").inc(5)
+        main.gauge("queue").set(4.0)
+        node.gauge("queue").set(9.0)
+        node.histogram("lat", node="n1").observe(10.0)
+        main.merge_snapshot(node)
+        assert main.counter("reqs", node="n0").value == 5
+        assert main.counter("reqs", node="n1").value == 5
+        assert main.gauge("queue").value == 9.0
+        assert main.histogram("lat", node="n1").count == 1
+
+    def test_merge_snapshot_gauge_keeps_high_water(self):
+        main = MetricsRegistry(enabled=True)
+        other = MetricsRegistry(enabled=True)
+        main.gauge("depth").set(12.0)
+        other.gauge("depth").set(3.0)
+        main.merge_snapshot(other)
+        assert main.gauge("depth").value == 12.0
+
+    def test_merge_snapshot_leaves_source_untouched(self):
+        main = MetricsRegistry(enabled=True)
+        other = MetricsRegistry(enabled=True)
+        other.counter("c").inc(4)
+        other.histogram("h").observe(1.0)
+        snapshot_before = other.snapshot()
+        main.merge_snapshot(other)
+        assert other.snapshot() == snapshot_before
+
+
 # -- tracer -------------------------------------------------------------------------
 
 

@@ -19,14 +19,19 @@ from repro.service.slo import (
     SLOReport,
 )
 from repro.service.workload import (
+    DEFAULT_TENANTS,
     KIND_DESERIALIZE,
     KIND_SERIALIZE,
     BurstyWorkload,
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    KeySkew,
     PoissonWorkload,
     RequestMix,
     ServiceCatalog,
     ServiceRequest,
     SizeClass,
+    TenantClass,
 )
 
 _SMALL_CLASSES = (
@@ -340,6 +345,7 @@ class TestSLOReport:
             "shed": 0,
             "rejected": 0,
             "degraded": 1,
+            "retried": 0,
             "verified": 0,
         }
         assert set(summary["latency_ns"]["all"]) == {
@@ -351,3 +357,210 @@ class TestSLOReport:
         records = [_record(i, float(i + 1) * 1e3) for i in range(10)]
         text = SLOReport(records=records).to_table().render()
         assert "p99" in text and "goodput" in text
+
+
+# -- workload shapes (diurnal, flash crowd) ------------------------------------------
+
+
+class TestWorkloadShapes:
+    def test_diurnal_preserves_mean_rate_and_sequence(self, catalog):
+        poisson = PoissonWorkload(1e6, 3000, seed=5, mix=_mix()).generate(
+            catalog
+        )
+        diurnal = DiurnalWorkload(
+            1e6, 3000, seed=5, mix=_mix(), amplitude=0.8, period_requests=500
+        ).generate(catalog)
+        # Rate shaping touches only gaps: kinds and sizes are untouched,
+        # and renormalization keeps the long-run rate exact.
+        assert _signature(diurnal) == _signature(poisson)
+        # Diurnal gaps renormalize to an exact mean of 1.0; the Poisson
+        # horizon carries sampling noise, so compare loosely.
+        assert diurnal[-1].arrival_ns == pytest.approx(
+            poisson[-1].arrival_ns, rel=0.1
+        )
+
+    def test_diurnal_modulates_local_rate(self, catalog):
+        requests = DiurnalWorkload(
+            1e6, 4000, seed=9, mix=_mix(), amplitude=0.9,
+            period_requests=4000,
+        ).generate(catalog)
+        # First half of the sine period runs above the mean rate, the
+        # second half below: the peak half must finish disproportionately
+        # early in wall-clock terms.
+        half_time = requests[1999].arrival_ns
+        assert half_time < 0.40 * requests[-1].arrival_ns
+
+    def test_flash_crowd_compresses_only_the_window(self, catalog):
+        base = PoissonWorkload(1e6, 2000, seed=4, mix=_mix()).generate(
+            catalog
+        )
+        crowd_workload = FlashCrowdWorkload(
+            1e6, 2000, seed=4, mix=_mix(), spike_factor=10.0,
+            spike_start_fraction=0.5, spike_duration_fraction=0.25,
+        )
+        crowd = crowd_workload.generate(catalog)
+        start, end = crowd_workload.spike_window()
+        assert (start, end) == (1000, 1500)
+        assert _signature(crowd) == _signature(base)
+
+        def gaps(requests):
+            arrivals = [r.arrival_ns for r in requests]
+            return [b - a for a, b in zip(arrivals, arrivals[1:])]
+
+        base_gaps, crowd_gaps = gaps(base), gaps(crowd)
+        # Outside the window gaps are identical; inside they shrink 10x.
+        for index in range(0, start - 1):
+            assert crowd_gaps[index] == pytest.approx(base_gaps[index])
+        for index in range(start, end - 1):
+            assert crowd_gaps[index] == pytest.approx(
+                base_gaps[index] / 10.0
+            )
+
+    def test_flash_crowd_validation(self):
+        with pytest.raises(ConfigError, match="spike_factor"):
+            FlashCrowdWorkload(1e6, 100, spike_factor=0.5)
+        with pytest.raises(ConfigError, match="spike_start_fraction"):
+            FlashCrowdWorkload(1e6, 100, spike_start_fraction=1.0)
+        with pytest.raises(ConfigError, match="amplitude"):
+            DiurnalWorkload(1e6, 100, amplitude=1.0)
+        with pytest.raises(ConfigError, match="period_requests"):
+            DiurnalWorkload(1e6, 100, period_requests=1)
+
+
+# -- rng stream isolation ------------------------------------------------------------
+
+
+class TestRngStreamIsolation:
+    """Each workload feature draws from its own seeded substream, so
+    enabling one never perturbs the sequences existing tests pin."""
+
+    def test_keys_do_not_perturb_base_sequence(self, catalog):
+        plain = PoissonWorkload(1e6, 1000, seed=7, mix=_mix()).generate(
+            catalog
+        )
+        keyed = PoissonWorkload(
+            1e6, 1000, seed=7, mix=_mix(), keys=KeySkew()
+        ).generate(catalog)
+        assert _signature(keyed) == _signature(plain)
+        assert [r.arrival_ns for r in keyed] == [
+            r.arrival_ns for r in plain
+        ]
+        assert [r.malformed for r in keyed] == [r.malformed for r in plain]
+        assert all(r.key for r in keyed)
+        assert all(r.key == "" for r in plain)
+
+    def test_tenants_do_not_perturb_base_sequence_or_keys(self, catalog):
+        keyed = PoissonWorkload(
+            1e6, 1000, seed=7, mix=_mix(), keys=KeySkew()
+        ).generate(catalog)
+        both = PoissonWorkload(
+            1e6, 1000, seed=7, mix=_mix(), keys=KeySkew(),
+            tenants=DEFAULT_TENANTS,
+        ).generate(catalog)
+        assert _signature(both) == _signature(keyed)
+        assert [r.arrival_ns for r in both] == [
+            r.arrival_ns for r in keyed
+        ]
+        assert [r.key for r in both] == [r.key for r in keyed]
+        assert all(r.tenant for r in both)
+
+    def test_malformed_fraction_still_isolated(self, catalog):
+        plain = PoissonWorkload(
+            1e6, 1000, seed=3, mix=_mix(), keys=KeySkew()
+        ).generate(catalog)
+        flagged = PoissonWorkload(
+            1e6, 1000, seed=3, mix=_mix(), keys=KeySkew(),
+            malformed_fraction=0.2,
+        ).generate(catalog)
+        assert _signature(flagged) == _signature(plain)
+        assert [r.key for r in flagged] == [r.key for r in plain]
+        assert any(r.malformed for r in flagged)
+
+
+# -- key skew and tenant mixes -------------------------------------------------------
+
+
+class TestKeySkewAndTenants:
+    def test_zipfian_keys_concentrate_on_low_ranks(self, catalog):
+        requests = PoissonWorkload(
+            1e6, 4000, seed=11, mix=_mix(),
+            keys=KeySkew(key_space=64, exponent=1.2),
+        ).generate(catalog)
+        counts = {}
+        for request in requests:
+            counts[request.key] = counts.get(request.key, 0) + 1
+        hottest = max(counts, key=lambda k: (counts[k], k))
+        assert hottest == "key-0"
+        # The head dominates: rank 0 far above the uniform share.
+        assert counts["key-0"] > 4 * (4000 / 64)
+
+    def test_tenant_weights_and_attributes(self, catalog):
+        tenants = (
+            TenantClass("gold", weight=0.7, priority=0, zone="zone-a"),
+            TenantClass("bronze", weight=0.3, priority=2, zone="zone-b"),
+        )
+        requests = PoissonWorkload(
+            1e6, 4000, seed=13, mix=_mix(), tenants=tenants
+        ).generate(catalog)
+        gold = [r for r in requests if r.tenant == "gold"]
+        bronze = [r for r in requests if r.tenant == "bronze"]
+        assert len(gold) + len(bronze) == len(requests)
+        assert len(gold) / len(requests) == pytest.approx(0.7, abs=0.05)
+        assert all(r.priority == 0 and r.zone == "zone-a" for r in gold)
+        assert all(r.priority == 2 and r.zone == "zone-b" for r in bronze)
+
+    def test_key_skew_validation(self):
+        with pytest.raises(ConfigError, match="key_space"):
+            KeySkew(key_space=0)
+        with pytest.raises(ConfigError, match="exponent"):
+            KeySkew(exponent=-1.0)
+        with pytest.raises(ConfigError, match="weight"):
+            TenantClass("t", weight=0.0)
+
+
+# -- QoS priority admission ----------------------------------------------------------
+
+
+class TestPriorityAdmission:
+    def test_lower_priority_sheds_first(self):
+        config = AdmissionConfig(
+            max_outstanding=10,
+            degrade_threshold=0.8,
+            priority_shares=(1.0, 0.5),
+        )
+        controller = AdmissionController(config)
+        for _ in range(5):
+            assert controller.decide(priority=0) == DECISION_ADMIT
+        # Best-effort sees an effective queue of 5 slots: full now.
+        assert controller.decide(priority=1) == DECISION_SHED
+        # The protected class still has headroom (degrades at 8).
+        assert controller.decide(priority=0) == DECISION_ADMIT
+        assert controller.shed_by_priority == {1: 1}
+
+    def test_priority_degrades_earlier_too(self):
+        config = AdmissionConfig(
+            max_outstanding=20,
+            degrade_threshold=0.5,
+            priority_shares=(1.0, 0.6),
+        )
+        controller = AdmissionController(config)
+        for _ in range(6):
+            controller.decide(priority=0)
+        # priority 1: effective queue 12, degrade from occupancy 6.
+        assert controller.decide(priority=1) == DECISION_DEGRADE
+        # priority 0 degrades only from occupancy 10.
+        assert controller.decide(priority=0) == DECISION_ADMIT
+
+    def test_default_shares_match_pre_qos_behaviour(self):
+        classic = AdmissionController(AdmissionConfig(max_outstanding=4))
+        qos = AdmissionController(AdmissionConfig(max_outstanding=4))
+        for _ in range(6):
+            assert classic.decide() == qos.decide(priority=5)
+
+    def test_share_table_validation(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            AdmissionConfig(priority_shares=())
+        with pytest.raises(ConfigError, match="in \\(0, 1\\]"):
+            AdmissionConfig(priority_shares=(1.0, 1.5))
+        with pytest.raises(ConfigError, match="largest"):
+            AdmissionConfig(priority_shares=(0.5, 1.0))
