@@ -46,6 +46,7 @@ def runtime_snapshot() -> Dict:
     everything else the run recorded (fault counters, service metrics).
     """
     from repro.common.bufpool import pool_stats
+    from repro.formats.codegen import codegen_cache_stats
     from repro.formats.plans import plan_cache_stats
     from repro.formats.secure import decode_stats
     from repro.jvm import layout_cache
@@ -53,10 +54,13 @@ def runtime_snapshot() -> Dict:
 
     pool = pool_stats()
     plan = plan_cache_stats()
+    codegen = codegen_cache_stats()
     layout = layout_cache.stats()
     return {
         "plan_cache": plan,
         "plan_cache_hit_rate": plan["hit_rate"],
+        "codegen_cache": codegen,
+        "codegen_cache_hit_rate": codegen["hit_rate"],
         "layout_cache": layout,
         "arena_high_water_mark_bytes": pool["high_water_mark_bytes"],
         "buffer_pool": pool,

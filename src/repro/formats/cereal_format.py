@@ -51,6 +51,7 @@ from repro.formats.base import (
 )
 from repro.common.bitstream import bits_to_word, word_to_bits
 from repro.common.bitutils import bytes_to_bits
+from repro.formats import codegen as CG
 from repro.formats import plans as P
 from repro.formats.packing import (
     PackedArray,
@@ -157,6 +158,7 @@ class CerealSerializer(Serializer):
         strip_mark_word: bool = False,
         use_packing: bool = True,
         use_plans: bool = True,
+        use_codegen: bool = False,
     ):
         if registration is None:
             registration = ClassRegistration(max_entries=max_class_types)
@@ -168,6 +170,11 @@ class CerealSerializer(Serializer):
         # use_plans=True routes hot paths through compiled per-shape plans
         # (repro.formats.plans); streams are byte-identical either way.
         self.use_plans = use_plans
+        # use_codegen=True runs serialize through generated per-shape gather
+        # kernels (repro.formats.codegen) — one compiled tuple expression per
+        # (klass, length) shape. Deserialize stays on the plan path: its hot
+        # loop is already a single bulk-slice per reference-free object.
+        self.use_codegen = use_codegen
 
     def register_class(self, klass) -> int:
         """The paper's ``RegisterClass(Class Type)`` API."""
@@ -176,6 +183,8 @@ class CerealSerializer(Serializer):
     # ------------------------------------------------------------------ serialize
 
     def serialize(self, root: HeapObject) -> SerializationResult:
+        if self.use_codegen:
+            return self._serialize_codegen(root)
         if self.use_plans:
             return self._serialize_planned(root)
         graph = ObjectGraph.from_root(root, order="bfs")
@@ -293,6 +302,112 @@ class CerealSerializer(Serializer):
                     append_ref(relative_address[raw] + 1)
             profile.value_fields += plan.n_value
             profile.reference_fields += plan.n_ref
+
+        return self._assemble_stream(
+            value_words,
+            reference_values,
+            bitmap_words,
+            graph.total_bytes,
+            graph.object_count,
+            profile,
+        )
+
+    def _serialize_codegen(self, root: HeapObject) -> SerializationResult:
+        """Codegen-path serialize: one generated gather call per object.
+
+        Each ``(klass, length)`` shape compiles once into a tuple-literal
+        expression that slices the bulk-read word image into the value and
+        reference structures in a single call — no per-slot Python loop.
+        Shapes whose gather exceeds the chunk cap fall back to the plan
+        gather loop. Streams and profiles match the interpreter exactly.
+        """
+        graph = SlotRunGraph.from_root(root, order="bfs")
+        profile = WorkProfile()
+        heap = root.heap
+        read_words = heap.memory.read_words
+        header_slots = heap.header_slots
+        registration = self.registration
+        relative_address = graph.relative_address
+        strip_mark = self.strip_mark_word
+
+        value_words: List[int] = []
+        reference_values: List[int] = []
+        bitmap_words: List[tuple] = []
+        extend_values = value_words.extend
+        append_value = value_words.append
+        append_ref = reference_values.append
+        append_bitmap = bitmap_words.append
+        extension = [0] * (header_slots - 2)
+
+        # shape -> [gather, class_id, plan, count, (bitmap_word, width)]
+        cells: dict = {}
+
+        for obj in graph.objects:
+            klass = obj.klass
+            shape = (klass, obj.length)
+            cell = cells.get(shape)
+            if cell is None:
+                if not registration.is_registered(klass):
+                    raise RegistrationError(
+                        f"class {klass.name!r} not registered with Cereal; "
+                        f"call register_class() first"
+                    )
+                plan = P.plan_for("cereal", klass, header_slots, obj.length)
+                kernel = CG.cereal_kernel_for(
+                    klass, header_slots, obj.length, strip_mark, plan
+                )
+                cell = [
+                    kernel.gather,
+                    registration.id_of(klass),
+                    plan,
+                    0,
+                    (plan.bitmap_word, plan.bitmap_width),
+                ]
+                cells[shape] = cell
+            cell[3] += 1
+            append_bitmap(cell[4])
+            plan = cell[2]
+            words = read_words(obj.address, plan.total_slots)
+            gather = cell[0]
+            if gather is not None:
+                vals, refs = gather(words, cell[1])
+                extend_values(vals)
+                for raw in refs:
+                    if raw == NULL_ADDRESS:
+                        append_ref(0)
+                    else:
+                        append_ref(relative_address[raw] + 1)
+            else:
+                # Chunk-cap fallback: plan-style index gather.
+                if not strip_mark:
+                    append_value(words[_MARK_SLOT])
+                append_value(cell[1])
+                if extension:
+                    extend_values(extension)
+                for index in plan.value_word_indices:
+                    append_value(words[index])
+                for index in plan.ref_word_indices:
+                    raw = words[index]
+                    if raw == NULL_ADDRESS:
+                        append_ref(0)
+                    else:
+                        append_ref(relative_address[raw] + 1)
+
+        objects = 0
+        instr = 0
+        value_fields = 0
+        reference_fields = 0
+        for cell in cells.values():
+            count = cell[3]
+            plan = cell[2]
+            objects += count
+            instr += count * plan.instr
+            value_fields += count * plan.n_value
+            reference_fields += count * plan.n_ref
+        profile.objects = objects
+        profile.add_instructions(instr)
+        profile.value_fields = value_fields
+        profile.reference_fields = reference_fields
 
         return self._assemble_stream(
             value_words,

@@ -1,0 +1,527 @@
+"""Generated per-shape serialization kernels: the codegen tier.
+
+The compiled plans in :mod:`repro.formats.plans` removed per-object shape
+analysis, but every plan op is still dispatched through a Python ``for``
+loop with per-op tuple unpacking and branching. This module removes that
+last interpreter level: for each plan it emits Python *source* for a
+specialized ``encode_<fingerprint>`` / ``decode_<fingerprint>`` function
+in which the op-list is unrolled into straight-line code —
+
+* merged ``OP_COPY`` runs become single slice copies from the object's
+  raw image (a zero-copy :class:`memoryview` over heap pages),
+* ``DOP_WORDS`` runs become one precompiled
+  :meth:`struct.Struct.unpack_from` over the whole fixed-width segment,
+* varint/zig-zag ops are inlined (with a one-byte fast path on decode),
+* and the per-object work-profile deltas are *not* in the kernel at all:
+  the drivers count objects per shape and multiply the plan's pre-summed
+  constants once per serialize/deserialize call.
+
+Encode kernels are split at ``OP_REF`` boundaries into *segments*; a
+kernel is either a single leaf function (shapes with no reference
+fields) or a ``steps`` tuple mixing segment callables with plain ``int``
+entries marking the reference slots (raw-image byte offsets on encode,
+field indices on decode). The drivers dispatch on ``step.__class__ is
+int`` — no opcode table, no tuple unpacking.
+
+Generated functions are compiled with :func:`compile` +
+:func:`exec` into a minimal closed namespace: ``__builtins__`` is
+replaced by an empty dict and only the handful of names the templates
+use (``len``, precompiled ``struct.Struct`` objects, the shared varint
+reader, the underflow-error factory) are provided. The source never
+interpolates runtime *values* — only integer offsets, widths and slot
+indices taken from the compiled plan — so a kernel is exactly as
+trusted as the plan it came from.
+
+Kernels live in a process-wide bounded cache keyed on the existing
+klass fingerprint (:func:`repro.formats.plans.klass_fingerprint`), with
+hit/miss/eviction/compile-time counters exported through ``repro.obs``
+as ``codegen_cache.*`` — mirroring the plan cache so service SLO
+reports and benchmarks can gate on warm-rate.
+
+Byte-identity: the codegen path must produce exactly the bytes, section
+splits and :class:`~repro.formats.base.WorkProfile` numbers of the plan
+path and the interpreter oracle. ``tests/test_codegen.py`` and the
+three-way fuzz suite in ``tests/test_plans.py`` enforce this. The one
+sanctioned divergence is *error detail* on truncated streams: a codegen
+decode segment bounds-checks its whole fixed-width span at once, so the
+``TruncatedStreamError`` it raises reports the segment's offset/needed
+rather than the individual field's. The error type is unchanged.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Dict, List, Tuple
+
+from repro.common.errors import TruncatedStreamError
+from repro.formats import plans as P
+from repro.formats.varint import read_varint
+from repro.obs.metrics import get_registry
+
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+_I64 = struct.Struct("<q")
+_U64 = struct.Struct("<Q")
+
+# struct codes for the fixed-width decode ops that can join a combined
+# unpack_from batch: (code, wire bytes)
+_DECODE_CODES = {
+    P.DOP_BOOL: ("B", 1),
+    P.DOP_BYTE: ("b", 1),
+    P.DOP_CHAR: ("H", 2),
+    P.DOP_SHORT: ("h", 2),
+    P.DOP_INT: ("i", 4),
+    P.DOP_FLOAT: ("f", 4),
+}
+
+# Identifier-safe labels for generated function names / compile filenames.
+_FMT_LABELS = {"java-builtin": "java", "kryo": "kryo"}
+
+# Cereal gather kernels longer than this many tuple chunks fall back to
+# the plan-path per-slot loops (the generated expression would be long
+# and the slice fusion wins shrink as runs fragment).
+_CEREAL_MAX_CHUNKS = 64
+
+
+def _underflow(pos: int, needed: int, total: int) -> TruncatedStreamError:
+    """Error factory shared with the generated decode segments."""
+    return TruncatedStreamError(offset=pos, needed=needed, available=total - pos)
+
+
+# -- kernel containers ---------------------------------------------------------------
+
+
+class EncodeKernel:
+    """A compiled encode function set for one instance shape.
+
+    ``leaf`` is the single straight-line function for shapes with no
+    reference fields (``steps`` is then ``None``); otherwise ``steps``
+    is the mixed tuple of segment callables and reference byte offsets.
+    ``source`` retains the generated Python for tests and debugging.
+    """
+
+    __slots__ = ("leaf", "steps", "source")
+
+    def __init__(self, leaf, steps, source: str):
+        self.leaf = leaf
+        self.steps = steps
+        self.source = source
+
+
+class DecodeKernel:
+    """Compiled decode function set; mirrors :class:`EncodeKernel` with
+    reference *field indices* in ``steps`` instead of byte offsets."""
+
+    __slots__ = ("leaf", "steps", "source")
+
+    def __init__(self, leaf, steps, source: str):
+        self.leaf = leaf
+        self.steps = steps
+        self.source = source
+
+
+class CerealKernel:
+    """Compiled Cereal slot-gather: ``gather(words, class_id)`` returns
+    ``(value_word_tuple, raw_reference_tuple)``. ``gather`` is ``None``
+    for shapes past :data:`_CEREAL_MAX_CHUNKS` (plan-path fallback)."""
+
+    __slots__ = ("gather", "source")
+
+    def __init__(self, gather, source: str):
+        self.gather = gather
+        self.source = source
+
+
+# -- the process-wide codegen cache --------------------------------------------------
+
+_MAX_ENTRIES = 1 << 12
+_KERNELS: Dict[Tuple, object] = {}
+
+_HITS = get_registry().counter("codegen_cache.hits")
+_MISSES = get_registry().counter("codegen_cache.misses")
+_EVICTIONS = get_registry().counter("codegen_cache.evictions")
+_ENTRIES = get_registry().gauge("codegen_cache.entries")
+_COMPILE_NS = get_registry().counter("codegen_cache.compile_ns")
+
+
+def codegen_cache_stats() -> Dict[str, object]:
+    """Hit/miss/eviction/compile-time counters, like ``plan_cache_stats``."""
+    hits, misses = _HITS.value, _MISSES.value
+    probes = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "evictions": _EVICTIONS.value,
+        "entries": len(_KERNELS),
+        "hit_rate": round(hits / probes, 4) if probes else 0.0,
+        "compile_ns": _COMPILE_NS.value,
+    }
+
+
+def reset_codegen_cache() -> None:
+    """Drop generated kernels and zero the counters (tests, benchmarks)."""
+    _KERNELS.clear()
+    _HITS.reset()
+    _MISSES.reset()
+    _EVICTIONS.reset()
+    _ENTRIES.reset()
+    _COMPILE_NS.reset()
+
+
+def generated_sources() -> Dict[Tuple, str]:
+    """Snapshot of every cached kernel's generated source, keyed like the
+    cache itself — the compile-round-trip test iterates this."""
+    return {key: kernel.source for key, kernel in _KERNELS.items()}
+
+
+def _store(key: Tuple, kernel):
+    if len(_KERNELS) >= _MAX_ENTRIES:
+        _KERNELS.clear()
+        _EVICTIONS.inc()
+    _KERNELS[key] = kernel
+    _ENTRIES.set(len(_KERNELS))
+    return kernel
+
+
+def _namespace(structs: Dict[str, struct.Struct]) -> Dict[str, object]:
+    """The closed namespace generated code executes in: no builtins
+    beyond ``len``, plus exactly the helpers the templates reference."""
+    ns: Dict[str, object] = {
+        "__builtins__": {},
+        "len": len,
+        "_F32": _F32,
+        "_F64": _F64,
+        "_I64": _I64,
+        "_U64": _U64,
+        "_rv": read_varint,
+        "_underflow": _underflow,
+    }
+    ns.update(structs)
+    return ns
+
+
+def _compile_into(source: str, filename: str, structs: Dict[str, struct.Struct]):
+    ns = _namespace(structs)
+    exec(compile(source, filename, "exec"), ns)
+    return ns
+
+
+# -- encode generation ---------------------------------------------------------------
+
+
+def _split_encode_segments(enc_ops) -> Tuple[List[list], List[Tuple[str, int]]]:
+    """Split a plan's encode ops at OP_REF boundaries.
+
+    Returns ``(segments, spec)`` where ``spec`` interleaves
+    ``("seg", segment_index)`` and ``("ref", byte_offset)`` entries in
+    stream order.
+    """
+    segments: List[list] = []
+    spec: List[Tuple[str, int]] = []
+    current: list = []
+    for op, start, end in enc_ops:
+        if op == P.OP_REF:
+            if current:
+                spec.append(("seg", len(segments)))
+                segments.append(current)
+                current = []
+            spec.append(("ref", start))
+        else:
+            current.append((op, start, end))
+    if current:
+        spec.append(("seg", len(segments)))
+        segments.append(current)
+    return segments, spec
+
+
+def _encode_segment_body(ops, track_data: bool) -> List[str]:
+    body: List[str] = []
+    if track_data:
+        body.append("    base = len(out)")
+    for op, start, end in ops:
+        if op == P.OP_COPY:
+            body.append(f"    out += raw[{start}:{end}]")
+        elif op == P.OP_FLOAT:
+            body.append(f"    out += _F32.pack(_F64.unpack_from(raw, {start})[0])")
+        else:  # OP_VARINT: inline zig-zag LEB128 append
+            body.append(f"    v = _I64.unpack_from(raw, {start})[0]")
+            body.append(
+                "    z = ((v << 1) ^ (v >> 63)) & 0xFFFFFFFFFFFFFFFF"
+                " if v < 0 else v << 1"
+            )
+            body.append("    while z > 127:")
+            body.append("        out.append(z & 127 | 128)")
+            body.append("        z >>= 7")
+            body.append("    out.append(z)")
+    if track_data:
+        body.append("    return len(out) - base")
+    elif not body:
+        body.append("    pass")
+    return body
+
+
+def _build_encode(plan, format_name: str, fingerprint: str) -> EncodeKernel:
+    """Generate, compile and wrap the encode kernel for an instance plan.
+
+    ``track_data`` (Kryo) makes every function return the number of
+    field-data bytes it appended — varint lengths are dynamic there, so
+    the driver accumulates segment returns instead of a plan constant.
+    """
+    label = _FMT_LABELS[format_name]
+    track_data = format_name == "kryo"
+    segments, spec = _split_encode_segments(plan.enc_ops)
+    leaf = plan.n_ref == 0
+
+    lines: List[str] = []
+    names: List[str] = []
+    if leaf:
+        name = f"encode_{label}_{fingerprint}"
+        names.append(name)
+        lines.append(f"def {name}(out, raw):")
+        lines.extend(_encode_segment_body(segments[0] if segments else [], track_data))
+        lines.append("")
+    else:
+        for index, ops in enumerate(segments):
+            name = f"encode_{label}_{fingerprint}_seg{index}"
+            names.append(name)
+            lines.append(f"def {name}(out, raw):")
+            lines.extend(_encode_segment_body(ops, track_data))
+            lines.append("")
+
+    source = "\n".join(lines)
+    ns = _compile_into(source, f"<codegen:{label}:enc:{fingerprint}>", {})
+    if leaf:
+        return EncodeKernel(ns[names[0]], None, source)
+    steps = tuple(
+        ns[names[value]] if kind == "seg" else value for kind, value in spec
+    )
+    return EncodeKernel(None, steps, source)
+
+
+# -- decode generation ---------------------------------------------------------------
+
+
+def _split_decode_segments(dec_ops) -> Tuple[List[list], List[Tuple[str, int]]]:
+    """Split a plan's decode ops at DOP_REF boundaries; ``("ref", i)``
+    entries carry the reference's *field index*."""
+    segments: List[list] = []
+    spec: List[Tuple[str, int]] = []
+    current: list = []
+    for op, a, b in dec_ops:
+        if op == P.DOP_REF:
+            if current:
+                spec.append(("seg", len(segments)))
+                segments.append(current)
+                current = []
+            spec.append(("ref", a))
+        else:
+            current.append((op, a, b))
+    if current:
+        spec.append(("seg", len(segments)))
+        segments.append(current)
+    return segments, spec
+
+
+def _flush_decode_batch(batch, lines, structs) -> None:
+    """Emit one combined bounds check + Struct unpack for a run of
+    fixed-width ops, then the per-field slot-word conversions."""
+    if not batch:
+        return
+    codes = []
+    for op, index, count in batch:
+        if op == P.DOP_WORDS:
+            codes.append("Q" * count)
+        else:
+            codes.append(_DECODE_CODES[op][0])
+    st = struct.Struct("<" + "".join(codes))
+    sname = f"_S{len(structs)}"
+    structs[sname] = st
+    nbytes = st.size
+    lines.append(f"    if pos + {nbytes} > n:")
+    lines.append(f"        raise _underflow(pos, {nbytes}, n)")
+    if len(batch) == 1 and batch[0][0] == P.DOP_WORDS:
+        # Pure verbatim run: bulk-unpack straight into the word list.
+        _, index, count = batch[0]
+        lines.append(
+            f"    words[{index}:{index + count}] = {sname}.unpack_from(data, pos)"
+        )
+        lines.append(f"    pos += {nbytes}")
+        return
+    lines.append(f"    t = {sname}.unpack_from(data, pos)")
+    lines.append(f"    pos += {nbytes}")
+    position = 0
+    for op, index, count in batch:
+        if op == P.DOP_WORDS:
+            lines.append(
+                f"    words[{index}:{index + count}] = t[{position}:{position + count}]"
+            )
+            position += count
+            continue
+        value = f"t[{position}]"
+        position += 1
+        if op == P.DOP_BOOL:
+            lines.append(f"    words[{index}] = 1 if {value} else 0")
+        elif op == P.DOP_CHAR:
+            lines.append(f"    words[{index}] = {value}")
+        elif op == P.DOP_FLOAT:
+            lines.append(f"    words[{index}] = _U64.unpack(_F64.pack({value}))[0]")
+        else:  # BYTE / SHORT / INT: sign-extend into the u64 slot word
+            lines.append(f"    words[{index}] = {value} & 0xFFFFFFFFFFFFFFFF")
+
+
+def _decode_segment_lines(ops, lines, structs) -> None:
+    batch: list = []
+    for op, a, b in ops:
+        if op == P.DOP_VARINT:
+            _flush_decode_batch(batch, lines, structs)
+            batch = []
+            # Inline zig-zag varint with a one-byte fast path; the slow
+            # path shares the 10-byte overflow guard via ``_rv``.
+            lines.append("    if pos < n and data[pos] < 128:")
+            lines.append("        z = data[pos]")
+            lines.append("        pos += 1")
+            lines.append("    else:")
+            lines.append("        z, pos = _rv(data, pos)")
+            lines.append(
+                f"    words[{a}] = ((z >> 1) ^ -(z & 1)) & 0xFFFFFFFFFFFFFFFF"
+            )
+        else:
+            batch.append((op, a, b))
+    _flush_decode_batch(batch, lines, structs)
+
+
+def _build_decode(plan, format_name: str, fingerprint: str) -> DecodeKernel:
+    label = _FMT_LABELS[format_name]
+    segments, spec = _split_decode_segments(plan.dec_ops)
+    leaf = plan.n_ref == 0
+
+    structs: Dict[str, struct.Struct] = {}
+    lines: List[str] = []
+    names: List[str] = []
+    if leaf:
+        name = f"decode_{label}_{fingerprint}"
+        names.append(name)
+        lines.append(f"def {name}(data, pos, words):")
+        lines.append("    n = len(data)")
+        _decode_segment_lines(segments[0] if segments else [], lines, structs)
+        lines.append("    return pos")
+        lines.append("")
+    else:
+        for index, ops in enumerate(segments):
+            name = f"decode_{label}_{fingerprint}_seg{index}"
+            names.append(name)
+            lines.append(f"def {name}(data, pos, words):")
+            lines.append("    n = len(data)")
+            _decode_segment_lines(ops, lines, structs)
+            lines.append("    return pos")
+            lines.append("")
+
+    source = "\n".join(lines)
+    ns = _compile_into(source, f"<codegen:{label}:dec:{fingerprint}>", structs)
+    if leaf:
+        return DecodeKernel(ns[names[0]], None, source)
+    steps = tuple(
+        ns[names[value]] if kind == "seg" else value for kind, value in spec
+    )
+    return DecodeKernel(None, steps, source)
+
+
+# -- cereal gather generation --------------------------------------------------------
+
+
+def _index_runs(indices) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` runs over a sorted index tuple."""
+    runs: List[Tuple[int, int]] = []
+    for index in indices:
+        if runs and runs[-1][1] == index:
+            runs[-1] = (runs[-1][0], index + 1)
+        else:
+            runs.append((index, index + 1))
+    return runs
+
+
+def _tuple_chunks(indices) -> List[str]:
+    chunks = []
+    for start, end in _index_runs(indices):
+        if end - start == 1:
+            chunks.append(f"(words[{start}],)")
+        else:
+            chunks.append(f"words[{start}:{end}]")
+    return chunks
+
+
+def _build_cereal(
+    plan, fingerprint: str, header_slots: int, length: int, strip_mark: bool
+) -> CerealKernel:
+    head = []
+    if not strip_mark:
+        head.append("words[0]")
+    head.append("class_id")
+    head.extend("0" for _ in range(header_slots - 2))
+    trailing = "," if len(head) == 1 else ""
+    chunks = ["(" + ", ".join(head) + trailing + ")"]
+    chunks.extend(_tuple_chunks(plan.value_word_indices))
+    ref_chunks = _tuple_chunks(plan.ref_word_indices)
+    if len(chunks) + len(ref_chunks) > _CEREAL_MAX_CHUNKS:
+        return CerealKernel(None, "")
+    values_expr = " + ".join(chunks)
+    refs_expr = " + ".join(ref_chunks) if ref_chunks else "()"
+    name = f"encode_cereal_{fingerprint}_{length}_{int(strip_mark)}"
+    source = f"def {name}(words, class_id):\n    return {values_expr}, {refs_expr}\n"
+    ns = _compile_into(source, f"<codegen:cereal:enc:{fingerprint}:{length}>", {})
+    return CerealKernel(ns[name], source)
+
+
+# -- cache front doors ---------------------------------------------------------------
+
+
+def encode_kernel_for(format_name: str, klass, header_slots: int, plan) -> EncodeKernel:
+    """The memoized encode kernel for an instance shape under a format."""
+    key = (format_name, "enc", P.klass_fingerprint(klass), header_slots)
+    kernel = _KERNELS.get(key)
+    if kernel is not None:
+        _HITS.value += 1  # direct bump: probed once per shape per call
+        return kernel
+    _MISSES.inc()
+    started = time.perf_counter_ns()
+    kernel = _build_encode(plan, format_name, key[2])
+    _COMPILE_NS.value += time.perf_counter_ns() - started
+    return _store(key, kernel)
+
+
+def decode_kernel_for(format_name: str, klass, header_slots: int, plan) -> DecodeKernel:
+    """The memoized decode kernel for an instance shape under a format."""
+    key = (format_name, "dec", P.klass_fingerprint(klass), header_slots)
+    kernel = _KERNELS.get(key)
+    if kernel is not None:
+        _HITS.value += 1
+        return kernel
+    _MISSES.inc()
+    started = time.perf_counter_ns()
+    kernel = _build_decode(plan, format_name, key[2])
+    _COMPILE_NS.value += time.perf_counter_ns() - started
+    return _store(key, kernel)
+
+
+def cereal_kernel_for(
+    klass, header_slots: int, length: int, strip_mark: bool, plan
+) -> CerealKernel:
+    """The memoized Cereal gather kernel for one ``(shape, length)``."""
+    key = (
+        "cereal",
+        "enc",
+        P.klass_fingerprint(klass),
+        header_slots,
+        length,
+        strip_mark,
+    )
+    kernel = _KERNELS.get(key)
+    if kernel is not None:
+        _HITS.value += 1
+        return kernel
+    _MISSES.inc()
+    started = time.perf_counter_ns()
+    kernel = _build_cereal(plan, key[2], header_slots, length, strip_mark)
+    _COMPILE_NS.value += time.perf_counter_ns() - started
+    return _store(key, kernel)

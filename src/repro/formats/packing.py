@@ -106,8 +106,11 @@ def unpack_word_items(packed: PackedArray) -> List[Tuple[int, int]]:
     """Inverse of :func:`pack_word_items`: recover ``(payload, width)`` words."""
     items: List[Tuple[int, int]] = []
     consumed = 0
+    # One memoryview over the packed data: per-item slices below are
+    # zero-copy views instead of per-item bytes copies.
+    data = memoryview(packed.data)
     for start, end in _item_extents(packed):
-        word = int.from_bytes(packed.data[start : end + 1], "big")
+        word = int.from_bytes(data[start : end + 1], "big")
         if word == 0:
             raise FormatError("packed item contains no end bit")
         # The end bit is the item's last set bit; everything above it is
@@ -159,8 +162,12 @@ def pack_items(values: Sequence[int]) -> PackedArray:
 
 
 def unpack_items(packed: PackedArray) -> List[int]:
-    """Inverse of :func:`pack_items` (hand-inlined hot path)."""
-    data = packed.data
+    """Inverse of :func:`pack_items` (hand-inlined hot path).
+
+    The packed data is sliced through a single ``memoryview`` so each
+    item read is a zero-copy view, not a per-item bytes allocation.
+    """
+    data = memoryview(packed.data)
     data_len = len(data)
     available = len(packed.end_map) * 8
     if data_len > available:

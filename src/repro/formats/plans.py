@@ -52,10 +52,12 @@ import struct
 from hashlib import sha256
 from typing import Dict, List, Tuple
 
-from repro.common.errors import (
-    FormatError,
-    MalformedVarintError,
-    TruncatedStreamError,
+from repro.common.errors import FormatError
+from repro.formats.varint import (  # noqa: F401  (re-exported: kernel API)
+    append_signed_varint,
+    append_varint,
+    read_signed_varint,
+    read_varint,
 )
 from repro.jvm.klass import ArrayKlass, FieldKind, InstanceKlass, Klass
 from repro.jvm.layout_cache import layout_of
@@ -100,72 +102,9 @@ _DECODE_OPS = {
 }
 
 
-# -- varint helpers (shared by the Kryo kernels) -----------------------------------
-
-
-def append_varint(out: bytearray, value: int) -> int:
-    """Unsigned LEB128 append, byte-identical to ``StreamWriter.write_varint``."""
-    if value < 0:
-        raise FormatError(f"varint requires non-negative value, got {value}")
-    length = 0
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        length += 1
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return length
-
-
-def append_signed_varint(out: bytearray, value: int) -> int:
-    """Zig-zag LEB128 append, byte-identical to ``write_signed_varint``."""
-    zigzag = ((value << 1) ^ (value >> 63) if value < 0 else value << 1) & _U64_MASK
-    length = 0
-    while True:
-        byte = zigzag & 0x7F
-        zigzag >>= 7
-        length += 1
-        if zigzag:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return length
-
-
-def read_signed_varint(data: bytes, pos: int) -> Tuple[int, int]:
-    """Zig-zag LEB128 decode; returns ``(value, new_pos)``.
-
-    Error conditions match :meth:`StreamReader.read_signed_varint` exactly.
-    """
-    value, pos = read_varint(data, pos)
-    decoded = value >> 1
-    if value & 1:
-        decoded = ~decoded
-    return decoded, pos
-
-
-def read_varint(data: bytes, pos: int) -> Tuple[int, int]:
-    value = 0
-    shift = 0
-    end = len(data)
-    while True:
-        if shift > 63:
-            raise MalformedVarintError("varint longer than 64 bits")
-        if pos >= end:
-            raise TruncatedStreamError(offset=pos, needed=1, available=end - pos)
-        byte = data[pos]
-        pos += 1
-        value |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            if value >= 1 << 64:
-                raise MalformedVarintError(
-                    f"varint decodes to {value} (>= 2^64); final byte "
-                    f"{byte:#04x} at shift {shift} overflows u64"
-                )
-            return value, pos
-        shift += 7
+# The varint codecs (``append_varint`` / ``read_varint`` and zig-zag
+# variants) now live in :mod:`repro.formats.varint` and are re-exported
+# above for the Kryo kernels that import them from here.
 
 
 # -- plan containers ---------------------------------------------------------------

@@ -19,9 +19,9 @@ from repro.common.bufpool import acquire_buffer, release_buffer
 from repro.common.errors import (
     CorruptionError,
     FormatError,
-    MalformedVarintError,
     TruncatedStreamError,
 )
+from repro.formats import varint as V
 
 
 # -- checksummed framing ------------------------------------------------------------
@@ -132,25 +132,15 @@ class StreamWriter:
 
     def write_varint(self, value: int, section: str) -> int:
         """LEB128 unsigned varint; returns encoded length."""
-        if value < 0:
-            raise FormatError(f"varint requires non-negative value, got {value}")
-        start = len(self._buffer)
-        while True:
-            byte = value & 0x7F
-            value >>= 7
-            if value:
-                self._buffer.append(byte | 0x80)
-            else:
-                self._buffer.append(byte)
-                break
-        length = len(self._buffer) - start
+        length = V.append_varint(self._buffer, value)
         self._account(section, length)
         return length
 
     def write_signed_varint(self, value: int, section: str) -> int:
         """Zig-zag mapped signed varint."""
-        zigzag = (value << 1) ^ (value >> 63) if value < 0 else value << 1
-        return self.write_varint(zigzag & ((1 << 64) - 1), section)
+        length = V.append_signed_varint(self._buffer, value)
+        self._account(section, length)
+        return length
 
     # -- strings -----------------------------------------------------------------------
 
@@ -237,30 +227,11 @@ class StreamReader:
     # -- varints ----------------------------------------------------------------------------
 
     def read_varint(self) -> int:
-        value = 0
-        shift = 0
-        while True:
-            if shift > 63:
-                raise MalformedVarintError("varint longer than 64 bits")
-            byte = self.read_u8()
-            value |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                # A 10th byte with any bit above bit 0 set would decode to
-                # >= 2^64: the encoder never emits it, so reject it rather
-                # than silently overflowing the u64 value space.
-                if value >= 1 << 64:
-                    raise MalformedVarintError(
-                        f"varint decodes to {value} (>= 2^64); final byte "
-                        f"{byte:#04x} at shift {shift} overflows u64"
-                    )
-                return value
-            shift += 7
+        value, self._pos = V.read_varint(self._data, self._pos)
+        return value
 
     def read_signed_varint(self) -> int:
-        zigzag = self.read_varint()
-        value = zigzag >> 1
-        if zigzag & 1:
-            value = ~value
+        value, self._pos = V.read_signed_varint(self._data, self._pos)
         return value
 
     # -- strings ------------------------------------------------------------------------------

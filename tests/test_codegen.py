@@ -1,0 +1,170 @@
+"""Codegen kernel cache, generated-source hygiene, and fallback paths.
+
+Byte/profile equivalence of the codegen tier against the interpreter
+oracles lives in ``tests/test_plans.py`` (three-way serializer pairs) and
+``tests/test_fuzz_roundtrip.py``; this module covers the machinery around
+the kernels: the process-wide codegen cache and its counters, the
+requirement that every generated source recompiles cleanly without
+warnings, and the index-run helpers behind the Cereal gather expressions.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from tests.test_fuzz_roundtrip import build_fuzz_graph, fuzz_registry
+
+from repro.formats import (
+    CerealSerializer,
+    ClassRegistration,
+    JavaSerializer,
+    KryoSerializer,
+)
+from repro.formats import codegen as CG
+from repro.jvm import Heap
+
+
+def _registration(registry) -> ClassRegistration:
+    registration = ClassRegistration()
+    for klass in registry:
+        registration.register(klass)
+    return registration
+
+
+def _populate_kernels(seed: int = 2):
+    """Serialize + deserialize a fuzz graph through every codegen tier."""
+    registry = fuzz_registry()
+    heap = Heap(registry=registry)
+    root = build_fuzz_graph(heap, seed)
+    registration = _registration(registry)
+    serializers = [
+        JavaSerializer(use_codegen=True),
+        KryoSerializer(registration, use_codegen=True),
+        CerealSerializer(registration, use_codegen=True),
+        CerealSerializer(
+            registration, strip_mark_word=True, use_codegen=True
+        ),
+    ]
+    for serializer in serializers:
+        result = serializer.serialize(root)
+        serializer.deserialize(result.stream, Heap(registry=registry))
+    return root, registry, registration, serializers
+
+
+# -- generated source hygiene ------------------------------------------------------
+
+
+def test_generated_sources_compile_without_warnings():
+    CG.reset_codegen_cache()
+    _populate_kernels()
+    sources = CG.generated_sources()
+    assert sources, "codegen run produced no cached kernels"
+    for key, source in sources.items():
+        if not source:
+            continue  # chunk-cap fallback kernels carry no source
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            compile(source, f"<recheck:{key}>", "exec")
+
+
+def test_generated_sources_are_self_contained():
+    CG.reset_codegen_cache()
+    _populate_kernels()
+    for source in CG.generated_sources().values():
+        # Kernels must run in the closed namespace: no attribute walks to
+        # builtins beyond the whitelisted handles.
+        assert "__import__" not in source
+        assert "eval(" not in source
+        assert "exec(" not in source
+
+
+# -- codegen cache -----------------------------------------------------------------
+
+
+def test_codegen_cache_warm_hit_rate():
+    CG.reset_codegen_cache()
+    registry = fuzz_registry()
+    heap = Heap(registry=registry)
+    root = build_fuzz_graph(heap, 3)
+    serializer = JavaSerializer(use_codegen=True)
+    serializer.serialize(root)
+    cold = CG.codegen_cache_stats()
+    assert cold["misses"] > 0
+    assert cold["entries"] == cold["misses"]
+    assert cold["compile_ns"] > 0
+    serializer.serialize(root)
+    warm = CG.codegen_cache_stats()
+    assert warm["misses"] == cold["misses"], "second run recompiled kernels"
+    assert warm["hits"] > cold["hits"]
+    assert warm["hit_rate"] > 0.0
+    assert warm["compile_ns"] == cold["compile_ns"]
+
+
+def test_codegen_cache_reset():
+    CG.reset_codegen_cache()
+    _populate_kernels()
+    assert CG.codegen_cache_stats()["entries"] > 0
+    CG.reset_codegen_cache()
+    assert CG.codegen_cache_stats() == {
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "entries": 0,
+        "hit_rate": 0.0,
+        "compile_ns": 0,
+    }
+    assert CG.generated_sources() == {}
+
+
+def test_codegen_cache_shared_across_serializer_instances():
+    CG.reset_codegen_cache()
+    registry = fuzz_registry()
+    heap = Heap(registry=registry)
+    root = build_fuzz_graph(heap, 5)
+    JavaSerializer(use_codegen=True).serialize(root)
+    after_first = CG.codegen_cache_stats()["misses"]
+    # A *different* instance over the same shapes: all cache hits.
+    JavaSerializer(use_codegen=True).serialize(root)
+    assert CG.codegen_cache_stats()["misses"] == after_first
+
+
+def test_codegen_cache_clears_when_full(monkeypatch):
+    CG.reset_codegen_cache()
+    monkeypatch.setattr(CG, "_MAX_ENTRIES", 1)
+    registry = fuzz_registry()
+    heap = Heap(registry=registry)
+    root = build_fuzz_graph(heap, 1)
+    JavaSerializer(use_codegen=True).serialize(root)
+    stats = CG.codegen_cache_stats()
+    assert stats["evictions"] > 0, "tiny cache must have cycled"
+    assert stats["entries"] <= 1
+    CG.reset_codegen_cache()
+
+
+# -- cereal gather helpers ---------------------------------------------------------
+
+
+def test_index_runs_merge_contiguous_spans():
+    assert CG._index_runs(()) == []
+    assert CG._index_runs((3,)) == [(3, 4)]
+    assert CG._index_runs((3, 4, 5, 9, 11, 12)) == [(3, 6), (9, 10), (11, 13)]
+
+
+def test_tuple_chunks_prefer_slices():
+    assert CG._tuple_chunks((3, 4, 5)) == ["words[3:6]"]
+    assert CG._tuple_chunks((7,)) == ["(words[7],)"]
+    assert CG._tuple_chunks((1, 3)) == ["(words[1],)", "(words[3],)"]
+
+
+def test_cereal_chunk_cap_falls_back_to_plan_gather(monkeypatch):
+    CG.reset_codegen_cache()
+    monkeypatch.setattr(CG, "_CEREAL_MAX_CHUNKS", 1)
+    registry = fuzz_registry()
+    heap = Heap(registry=registry)
+    root = build_fuzz_graph(heap, 4)
+    registration = _registration(registry)
+    capped = CerealSerializer(registration, use_codegen=True).serialize(root)
+    oracle = CerealSerializer(registration, use_plans=False).serialize(root)
+    assert capped.stream.data == oracle.stream.data
+    assert vars(capped.profile) == vars(oracle.profile)
+    CG.reset_codegen_cache()

@@ -53,12 +53,27 @@ def _registration(registry) -> ClassRegistration:
 
 
 def _serializer_pairs(registration):
-    """(name, plan-path serializer, interpreter-path serializer) triples."""
+    """(name, fast-path serializer, interpreter-path serializer) triples.
+
+    Both accelerated tiers appear against the same interpreter oracle —
+    plan-path and codegen-path entries — so these checks pin the full
+    three-way interpreter/plan/codegen equivalence.
+    """
     return [
         ("java-builtin", JavaSerializer(), JavaSerializer(use_plans=False)),
         (
+            "java-codegen",
+            JavaSerializer(use_codegen=True),
+            JavaSerializer(use_plans=False),
+        ),
+        (
             "kryo",
             KryoSerializer(registration),
+            KryoSerializer(registration, use_plans=False),
+        ),
+        (
+            "kryo-codegen",
+            KryoSerializer(registration, use_codegen=True),
             KryoSerializer(registration, use_plans=False),
         ),
         (
@@ -67,8 +82,22 @@ def _serializer_pairs(registration):
             CerealSerializer(registration, use_plans=False),
         ),
         (
+            "cereal-codegen",
+            CerealSerializer(registration, use_codegen=True),
+            CerealSerializer(registration, use_plans=False),
+        ),
+        (
             "cereal-stripped",
             CerealSerializer(registration, strip_mark_word=True),
+            CerealSerializer(
+                registration, strip_mark_word=True, use_plans=False
+            ),
+        ),
+        (
+            "cereal-stripped-codegen",
+            CerealSerializer(
+                registration, strip_mark_word=True, use_codegen=True
+            ),
             CerealSerializer(
                 registration, strip_mark_word=True, use_plans=False
             ),
@@ -111,7 +140,8 @@ def _assert_equivalent(root, registry, registration) -> None:
         _assert_profiles_equal(
             fast_de.profile, slow_de.profile, f"{name} deserialize"
         )
-        if name != "cereal-stripped":  # stripping rewrites identity hashes
+        # Stripping rewrites identity hashes, so skip round-trip identity.
+        if not name.startswith("cereal-stripped"):
             assert first_difference(root, fast_de.root) is None, (
                 f"{name}: plan round trip diverged from the original graph"
             )
@@ -152,11 +182,19 @@ def test_plans_match_interpreters_on_edge_shapes():
     for index in range(0, 4000, 3):
         wide.set_element(index, index * 0x9E3779B9 - 2**40)
 
+    # All-null shapes: an untouched instance (every reference field null,
+    # every primitive zero) and a reference array of nothing but nulls —
+    # the codegen null fast paths must fold identically to the oracles.
+    all_null = heap.new_instance("FuzzNode")
+    null_array = heap.new_array(FieldKind.REFERENCE, 64)
+
     roots = [
         leaf,
         cycle,
         chain,
         wide,
+        all_null,
+        null_array,
         heap.new_array(FieldKind.REFERENCE, 0),
         heap.new_array(FieldKind.BYTE, 0),
     ]
@@ -397,11 +435,14 @@ def test_slo_report_carries_runtime_cache_stats():
     assert caches is not None
     assert set(caches) == {
         "plan_cache",
+        "codegen_cache",
         "layout_cache",
         "buffer_pool",
         "secure_decode",
     }
     summary = report.as_dict()
     assert summary["runtime_caches"]["plan_cache"]["hit_rate"] >= 0.0
+    assert summary["runtime_caches"]["codegen_cache"]["hit_rate"] >= 0.0
     rendered = report.to_table().render()
     assert "plan hit rate" in rendered
+    assert "codegen hit rate" in rendered
