@@ -45,7 +45,7 @@ def runtime_snapshot() -> Dict:
     one ``BENCH_*.json`` carries both the legacy cache shape and
     everything else the run recorded (fault counters, service metrics).
     """
-    from repro.common.bufpool import pool_stats
+    from repro.common.bufpool import chunk_pool_stats, pool_stats
     from repro.formats.codegen import codegen_cache_stats
     from repro.formats.plans import plan_cache_stats
     from repro.formats.secure import decode_stats
@@ -53,6 +53,7 @@ def runtime_snapshot() -> Dict:
     from repro.obs.metrics import get_registry
 
     pool = pool_stats()
+    chunk_pool = chunk_pool_stats()
     plan = plan_cache_stats()
     codegen = codegen_cache_stats()
     layout = layout_cache.stats()
@@ -64,6 +65,10 @@ def runtime_snapshot() -> Dict:
         "layout_cache": layout,
         "arena_high_water_mark_bytes": pool["high_water_mark_bytes"],
         "buffer_pool": pool,
+        "chunk_pool": chunk_pool,
+        "chunk_pool_high_water_mark_bytes": chunk_pool[
+            "high_water_mark_bytes"
+        ],
         "secure_decode": decode_stats(),
         "metrics": get_registry().snapshot(),
     }

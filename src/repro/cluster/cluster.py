@@ -594,6 +594,14 @@ class SerializationCluster:
                 "layout_cache": layout_cache_stats(),
                 "buffer_pool": pool_stats(),
                 "secure_decode": decode_stats(),
+                **(
+                    {"streaming": self._streaming_stats()}
+                    if any(
+                        self._nodes[n].server.streamer is not None
+                        for n in self._order
+                    )
+                    else {}
+                ),
             },
         )
         return ClusterReport(
@@ -611,6 +619,31 @@ class SerializationCluster:
             locality_hits=self.router.locality_hits,
             locality_misses=self.router.locality_misses,
         )
+
+    def _streaming_stats(self) -> Dict:
+        """Cluster-wide egress streaming totals (counts summed, buffer
+        high-water marks maxed, the TTFB speedup recomputed from sums)."""
+        merged: Dict = {}
+        for node_id in self._order:
+            streamer = self._nodes[node_id].server.streamer
+            if streamer is None:
+                continue
+            for key, value in streamer.stats().items():
+                if key in ("buffer_hwm_bytes", "whole_buffer_hwm_bytes"):
+                    merged[key] = max(merged.get(key, 0), value)
+                elif key not in ("mean_ttfb_speedup", "service_ttfb_speedup"):
+                    merged[key] = merged.get(key, 0) + value
+        merged["mean_ttfb_speedup"] = (
+            merged["whole_ttfb_sum_ns"] / merged["ttfb_sum_ns"]
+            if merged.get("ttfb_sum_ns")
+            else 0.0
+        )
+        merged["service_ttfb_speedup"] = (
+            merged["whole_service_ttfb_sum_ns"] / merged["service_ttfb_sum_ns"]
+            if merged.get("service_ttfb_sum_ns")
+            else 0.0
+        )
+        return merged
 
     def _mean_batch_size(self) -> float:
         closed = sum(
@@ -684,3 +717,15 @@ class SerializationCluster:
                 request_id=record.request_id,
                 backend=record.backend,
             )
+            if record.streamed and record.chunk_timeline:
+                for seq, start_ns, done_ns in record.chunk_timeline:
+                    tracer.record_span(
+                        "response.chunk",
+                        start_ns,
+                        done_ns,
+                        category="chunk",
+                        track=track,
+                        parent=parent,
+                        request_id=record.request_id,
+                        chunk=seq,
+                    )

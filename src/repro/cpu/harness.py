@@ -117,6 +117,49 @@ class SoftwarePlatform:
         timing = self._finish(serializer.name, "serialize", result.profile, trace)
         return result, SoftwareRunResult(timing=timing, stream=result.stream)
 
+    def run_serialize_chunked(
+        self,
+        serializer: Serializer,
+        root: HeapObject,
+        chunk_bytes: int,
+        pool=None,
+    ):
+        """Chunked-encode ``root`` under the same instrumentation as
+        :meth:`run_serialize`: the cursor drain happens inside the heap
+        trace, the assembled stream gets the same sequential buffer
+        accesses, and the summary's work profile feeds the same cost
+        model — so the modelled time is identical to the single-shot
+        encode (chunking changes *when* bytes leave, not what they cost).
+
+        Returns ``(result, run, chunks)`` where ``chunks`` are the
+        payload slices in emission order.
+        """
+        heap = root.heap
+        trace, previous = self._with_trace(heap)
+        cursor = serializer.serialize_chunks(root, chunk_bytes, pool=pool)
+        chunks = []
+        try:
+            while True:
+                arena = cursor.next_chunk()
+                if arena is None:
+                    break
+                chunks.append(bytes(arena))
+                cursor.recycle(arena)
+        finally:
+            heap.memory.trace = previous
+        summary = cursor.summary
+        stream = SerializedStream(
+            format_name=summary.format_name,
+            data=b"".join(chunks),
+            sections=dict(summary.sections),
+            object_count=summary.object_count,
+            graph_bytes=summary.graph_bytes,
+        )
+        result = SerializationResult(stream=stream, profile=summary.profile)
+        self._stream_accesses(trace, stream.size_bytes, "write")
+        timing = self._finish(serializer.name, "serialize", result.profile, trace)
+        return result, SoftwareRunResult(timing=timing, stream=stream), chunks
+
     def run_deserialize(
         self, serializer: Serializer, stream: SerializedStream, heap: Heap
     ) -> Tuple[DeserializationResult, SoftwareRunResult]:

@@ -31,11 +31,28 @@ from repro.formats.skyway import SkywaySerializer
 from repro.formats.cereal_format import CerealSerializer, CerealStreamSections
 from repro.formats.limits import DEFAULT_LIMITS, DecodeLimits
 from repro.formats.packing import pack_items, unpack_items
+from repro.formats.chunked import (
+    ChunkAssembler,
+    collect_chunks,
+    encode_cursor,
+)
+from repro.formats.plans import (
+    ChunkedEncodeSummary,
+    ChunkingBuffer,
+    EncodeCursor,
+)
 from repro.formats.secure import (
     VersionedKryo,
     decode_stats,
     schema_fingerprint,
     secure_deserialize,
+    secure_deserialize_chunks,
+)
+from repro.formats.streams import (
+    ChunkSink,
+    ChunkSource,
+    frame_chunk,
+    unframe_chunk,
 )
 from repro.formats.verify import graphs_equivalent
 
@@ -57,6 +74,17 @@ __all__ = [
     "decode_stats",
     "schema_fingerprint",
     "secure_deserialize",
+    "secure_deserialize_chunks",
+    "ChunkAssembler",
+    "ChunkSink",
+    "ChunkSource",
+    "ChunkedEncodeSummary",
+    "ChunkingBuffer",
+    "EncodeCursor",
+    "collect_chunks",
+    "encode_cursor",
+    "frame_chunk",
+    "unframe_chunk",
     "pack_items",
     "unpack_items",
     "graphs_equivalent",

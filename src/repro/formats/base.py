@@ -171,6 +171,25 @@ class Serializer(abc.ABC):
         applies :data:`repro.formats.limits.DEFAULT_LIMITS`.
         """
 
+    def serialize_chunks(
+        self,
+        root: HeapObject,
+        chunk_bytes: int,
+        pool=None,
+        block: bool = False,
+    ):
+        """A resumable chunked encode of ``root``: returns an
+        :class:`~repro.formats.plans.EncodeCursor` that yields the stream
+        in exact ``chunk_bytes``-sized arenas drawn from ``pool`` (default
+        the process-wide chunk pool). Chunk concatenation is byte-identical
+        to :meth:`serialize`; see :mod:`repro.formats.chunked`.
+        """
+        from repro.formats.chunked import encode_cursor
+
+        return encode_cursor(
+            self, root, chunk_bytes, pool=pool, block=block
+        )
+
     def round_trip(self, root: HeapObject, heap: Heap) -> HeapObject:
         """Serialize then deserialize; convenience for tests and examples."""
         result = self.serialize(root)

@@ -99,14 +99,19 @@ class EncodeKernel:
     reference fields (``steps`` is then ``None``); otherwise ``steps``
     is the mixed tuple of segment callables and reference byte offsets.
     ``source`` retains the generated Python for tests and debugging.
+    ``max_write_bytes`` is the worst-case bytes one segment call can
+    append (varints counted at their 10-byte ceiling) — the chunked
+    executor uses it to bound how far a single uninterruptible kernel
+    step can overshoot a chunk arena before the next suspension point.
     """
 
-    __slots__ = ("leaf", "steps", "source")
+    __slots__ = ("leaf", "steps", "source", "max_write_bytes")
 
-    def __init__(self, leaf, steps, source: str):
+    def __init__(self, leaf, steps, source: str, max_write_bytes: int = 0):
         self.leaf = leaf
         self.steps = steps
         self.source = source
+        self.max_write_bytes = max_write_bytes
 
 
 class DecodeKernel:
@@ -261,6 +266,20 @@ def _encode_segment_body(ops, track_data: bool) -> List[str]:
     return body
 
 
+def _segment_write_ceiling(ops) -> int:
+    """Worst-case bytes one encode segment appends: copies at their exact
+    width, f64→f32 at 4, zig-zag varints at the 10-byte LEB128 ceiling."""
+    total = 0
+    for op, start, end in ops:
+        if op == P.OP_COPY:
+            total += end - start
+        elif op == P.OP_FLOAT:
+            total += 4
+        else:  # OP_VARINT
+            total += 10
+    return total
+
+
 def _build_encode(plan, format_name: str, fingerprint: str) -> EncodeKernel:
     """Generate, compile and wrap the encode kernel for an instance plan.
 
@@ -291,12 +310,15 @@ def _build_encode(plan, format_name: str, fingerprint: str) -> EncodeKernel:
 
     source = "\n".join(lines)
     ns = _compile_into(source, f"<codegen:{label}:enc:{fingerprint}>", {})
+    ceiling = max(
+        (_segment_write_ceiling(ops) for ops in segments), default=0
+    )
     if leaf:
-        return EncodeKernel(ns[names[0]], None, source)
+        return EncodeKernel(ns[names[0]], None, source, ceiling)
     steps = tuple(
         ns[names[value]] if kind == "seg" else value for kind, value in spec
     )
-    return EncodeKernel(None, steps, source)
+    return EncodeKernel(None, steps, source, ceiling)
 
 
 # -- decode generation ---------------------------------------------------------------

@@ -620,3 +620,208 @@ def _compile_cereal(klass: Klass, header_slots: int, length: int):
     plan.n_value = len(plan.value_word_indices)
     plan.instr = C._INSTR_PER_OBJECT + C._INSTR_PER_SLOT * layout.total_slots
     return plan
+
+
+# -- chunked execution ---------------------------------------------------------------
+#
+# The plan/codegen kernels above are append-only writers: every byte they
+# produce goes through ``out += ...`` / ``out.append(...)`` and the only
+# read-back they perform is ``len(out)`` (to measure what a step wrote).
+# That contract is what makes the executor chunkable: a
+# :class:`ChunkingBuffer` honors exactly that interface while carving the
+# output into fixed-size arenas from a
+# :class:`~repro.common.bufpool.ChunkArenaPool`, and an
+# :class:`EncodeCursor` drives a generator-based plan walk that suspends
+# at chunk boundaries — the walk's explicit frame stack *is* the resume
+# state, so continuing never re-visits an already-encoded object.
+
+
+class ChunkingBuffer:
+    """An append-only output buffer that carves fixed-size chunk arenas.
+
+    Drop-in for the ``bytearray`` the plan/codegen kernels write into:
+    supports ``append``/``extend``/``+=`` and ``len()`` — where ``len()``
+    reports the *logical* stream position (total bytes ever written), so
+    kernels that measure a step via ``base = len(out) ... len(out) - base``
+    see exactly the numbers they would against a flat buffer.
+
+    Writes land in the current arena; the instant it reaches
+    ``chunk_bytes`` it is sealed onto the ready list and a fresh arena is
+    acquired from the pool. One oversized ``extend`` seals as many full
+    chunks as it spans — every sealed chunk is *exactly* ``chunk_bytes``
+    long, so chunk boundaries are deterministic functions of the byte
+    stream alone (resume-determinism relies on this).
+    """
+
+    __slots__ = ("chunk_bytes", "_pool", "_block", "_current", "_ready", "_total")
+
+    def __init__(self, chunk_bytes: int, pool=None, block: bool = False):
+        if chunk_bytes <= 0:
+            raise FormatError(
+                f"chunk_bytes must be positive, got {chunk_bytes}"
+            )
+        if pool is None:
+            from repro.common.bufpool import GLOBAL_CHUNK_POOL
+
+            pool = GLOBAL_CHUNK_POOL
+        self.chunk_bytes = chunk_bytes
+        self._pool = pool
+        self._block = block
+        self._current = pool.acquire(block=block)
+        self._ready: List[bytearray] = []
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def append(self, byte: int) -> None:
+        self._total += 1
+        cur = self._current
+        cur.append(byte)
+        if len(cur) >= self.chunk_bytes:
+            self._seal()
+
+    def extend(self, data) -> None:
+        n = len(data)
+        self._total += n
+        cur = self._current
+        room = self.chunk_bytes - len(cur)
+        if n < room:
+            cur += data
+            return
+        offset = 0
+        while n - offset >= room:
+            cur += data[offset:offset + room]
+            offset += room
+            self._seal()
+            cur = self._current
+            room = self.chunk_bytes
+        if offset < n:
+            cur += data[offset:]
+
+    def __iadd__(self, data) -> "ChunkingBuffer":
+        self.extend(data)
+        return self
+
+    def _seal(self) -> None:
+        self._ready.append(self._current)
+        self._current = self._pool.acquire(block=self._block)
+
+    def pop_ready(self):
+        """The oldest sealed chunk arena, or ``None``."""
+        if self._ready:
+            return self._ready.pop(0)
+        return None
+
+    def flush_tail(self) -> None:
+        """Seal the final partial chunk (end of stream). An empty tail —
+        the stream length was an exact multiple of ``chunk_bytes`` — is
+        released straight back to the pool, never emitted."""
+        cur = self._current
+        if cur is None:
+            return
+        self._current = None
+        if len(cur):
+            self._ready.append(cur)
+        else:
+            self._pool.release(cur)
+
+    def recycle(self, arena) -> None:
+        """Return a consumed chunk arena to the pool."""
+        self._pool.release(arena)
+
+    def abandon(self) -> None:
+        """Release every arena still held (error/teardown path)."""
+        if self._current is not None:
+            self._pool.release(self._current)
+            self._current = None
+        while self._ready:
+            self._pool.release(self._ready.pop())
+
+
+class ChunkedEncodeSummary:
+    """What a fully-drained :class:`EncodeCursor` produced, minus the
+    bytes themselves (those went through the sink chunk by chunk)."""
+
+    __slots__ = (
+        "format_name",
+        "total_bytes",
+        "chunk_count",
+        "sections",
+        "profile",
+        "object_count",
+        "graph_bytes",
+    )
+
+    def __init__(self, format_name, total_bytes, chunk_count, sections,
+                 profile, object_count, graph_bytes):
+        self.format_name = format_name
+        self.total_bytes = total_bytes
+        self.chunk_count = chunk_count
+        self.sections = sections
+        self.profile = profile
+        self.object_count = object_count
+        self.graph_bytes = graph_bytes
+
+
+class EncodeCursor:
+    """A resumable handle over one chunked encode.
+
+    Wraps a *walk* — a generator that encodes the object graph into a
+    :class:`ChunkingBuffer`, yielding at every safe suspension point (its
+    local frame stack carries all traversal state) and returning a
+    :class:`ChunkedEncodeSummary`. ``next_chunk()`` advances the walk
+    only as far as the next sealed chunk, so the producer never runs
+    ahead of its consumer by more than the pool population: backpressure
+    reaches the plan executor itself.
+
+    The caller owns each returned arena until it hands it back via
+    ``recycle()`` — the pull loop is::
+
+        while (chunk := cursor.next_chunk()) is not None:
+            consume(chunk)          # copy/frame/transmit
+            cursor.recycle(chunk)   # arena returns to the pool
+
+    ``summary`` is available once ``next_chunk()`` has returned ``None``.
+    """
+
+    def __init__(self, walk, buffer: ChunkingBuffer):
+        self._walk = walk
+        self._buffer = buffer
+        self._exhausted = False
+        self.summary = None
+        self.chunks_emitted = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def next_chunk(self):
+        """The next sealed chunk arena, or ``None`` at end of stream."""
+        buf = self._buffer
+        while not buf.ready_count and not self._exhausted:
+            try:
+                next(self._walk)
+            except StopIteration as stop:
+                self._exhausted = True
+                self.summary = stop.value
+                buf.flush_tail()
+        chunk = buf.pop_ready()
+        if chunk is None:
+            return None
+        self.chunks_emitted += 1
+        return chunk
+
+    def recycle(self, arena) -> None:
+        self._buffer.recycle(arena)
+
+    def close(self) -> None:
+        """Abort a partially-drained cursor, releasing held arenas."""
+        if not self._exhausted:
+            self._walk.close()
+            self._exhausted = True
+        self._buffer.abandon()

@@ -75,6 +75,7 @@ __all__ = [
     "decode_stats",
     "schema_fingerprint",
     "secure_deserialize",
+    "secure_deserialize_chunks",
 ]
 
 # Rejection reasons, most specific first: label values for
@@ -165,6 +166,53 @@ def secure_deserialize(
         raise
     registry.counter("decode.accepted", format=serializer.name).inc()
     return result
+
+
+def secure_deserialize_chunks(
+    serializer: Serializer,
+    chunks,
+    heap: Heap,
+    limits: Optional[DecodeLimits] = None,
+) -> DeserializationResult:
+    """Transactionally decode a sequence of CRC-framed chunks.
+
+    Streaming front end of :func:`secure_deserialize`: each chunk's frame
+    is verified (magic, header/payload CRC, strict sequence order) and
+    ``DecodeLimits.max_stream_bytes`` is charged incrementally as chunks
+    arrive, so a hostile or over-budget stream is rejected *at the
+    offending chunk* — later chunks are never read. A stream whose
+    LAST-flagged chunk never arrives raises
+    :class:`TruncatedStreamError` at the point it went dark. The
+    reassembled payload (zero-copy into the decoders via the
+    buffer-protocol :class:`StreamReader`) then runs through the same
+    checkpoint/rollback decode as the whole-stream path, so rejection
+    counters and heap guarantees are shared, not parallel.
+    """
+    limits = resolve_limits(limits)
+    registry = get_registry()
+    from repro.formats.chunked import ChunkAssembler
+
+    assembler = ChunkAssembler(limits)
+    try:
+        for chunk in chunks:
+            assembler.push(chunk)
+        payload = assembler.payload()
+    except Exception as error:
+        reason = classify_rejection(error)
+        registry.counter(
+            "decode.rejected", format=serializer.name, reason=reason
+        ).inc()
+        if isinstance(error, FormatError):
+            raise
+        if isinstance(error, _WRAPPABLE):
+            raise FormatError(
+                f"malformed chunk stream: {type(error).__name__}: {error}"
+            ) from error
+        raise
+    stream = SerializedStream(
+        format_name=serializer.name, data=payload, sections={}
+    )
+    return secure_deserialize(serializer, stream, heap, limits=limits)
 
 
 def decode_stats() -> Dict[str, object]:

@@ -84,6 +84,181 @@ def looks_framed(data: bytes) -> bool:
     return len(data) >= FRAME_HEADER_BYTES and data[:4] == FRAME_MAGIC
 
 
+# -- per-chunk framing --------------------------------------------------------------
+#
+# Streaming transfers ship a serialized payload as a sequence of framed
+# chunks so one damaged chunk retries alone instead of re-fetching the
+# whole stream. The 21-byte chunk header is a versioned sibling of the
+# whole-payload frame above (magic version bumped to 0x02):
+#
+#     magic(4) | seq u32 | payload_length u32 | flags u8 |
+#     payload_crc32 u32 | header_crc32 u32
+#
+# ``seq`` orders chunks and exposes reordering/duplication; the LAST flag
+# marks the final chunk so a clipped tail is detectable (a stream that
+# ends without it is truncated, not merely short).
+
+CHUNK_MAGIC = b"\xc5\xea\x1f\x02"
+CHUNK_HEADER_BYTES = 21
+CHUNK_FLAG_LAST = 0x01
+
+
+def frame_chunk(seq: int, payload, last: bool = False) -> bytes:
+    """Wrap one chunk payload in the 21-byte checksummed chunk frame.
+
+    ``payload`` may be any buffer-protocol object (bytes, bytearray,
+    memoryview) — chunk arenas frame without an intermediate copy.
+    """
+    flags = CHUNK_FLAG_LAST if last else 0
+    header = CHUNK_MAGIC + struct.pack(
+        "<IIBI",
+        seq & 0xFFFFFFFF,
+        len(payload),
+        flags,
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    header += struct.pack("<I", zlib.crc32(header) & 0xFFFFFFFF)
+    return header + payload
+
+
+def unframe_chunk(data) -> Tuple[int, memoryview, bool]:
+    """Verify one framed chunk; returns ``(seq, payload_view, last)``.
+
+    The payload comes back as a zero-copy :class:`memoryview` into
+    ``data``. Raises :class:`CorruptionError` on bad magic, damaged
+    header, truncated payload, or payload digest failure.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if len(view) < CHUNK_HEADER_BYTES:
+        raise CorruptionError(
+            f"framed chunk too short: {len(view)} bytes < "
+            f"{CHUNK_HEADER_BYTES}-byte chunk header"
+        )
+    header = view[:17]
+    (header_crc,) = struct.unpack("<I", view[17:21])
+    if zlib.crc32(header) & 0xFFFFFFFF != header_crc:
+        raise CorruptionError("chunk header checksum mismatch")
+    if bytes(view[:4]) != CHUNK_MAGIC:
+        raise CorruptionError("bad chunk magic")
+    seq, length, flags, payload_crc = struct.unpack("<IIBI", view[4:17])
+    payload = view[CHUNK_HEADER_BYTES:]
+    if length != len(payload):
+        raise CorruptionError(
+            f"chunk {seq} declares {length} payload bytes, got "
+            f"{len(payload)} (truncated or padded transfer)"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != payload_crc:
+        raise CorruptionError(f"chunk {seq} payload checksum mismatch")
+    return seq, payload, bool(flags & CHUNK_FLAG_LAST)
+
+
+def looks_chunk_framed(data) -> bool:
+    """Cheap sniff: does ``data`` start with the chunk-frame magic?"""
+    return len(data) >= CHUNK_HEADER_BYTES and bytes(data[:4]) == CHUNK_MAGIC
+
+
+# -- chunk sinks / sources ----------------------------------------------------------
+
+
+class ChunkSink:
+    """Protocol: a consumer of serialized chunks, in stream order.
+
+    ``put`` receives one chunk (any buffer-protocol object); the chunk is
+    only valid for the duration of the call — a sink that defers
+    consumption must copy (or own the arena via its pool contract).
+    ``close`` marks end of stream.
+    """
+
+    def put(self, chunk) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """End of stream; default is a no-op."""
+
+
+class ChunkSource:
+    """Protocol: a producer of serialized chunks, in stream order.
+
+    ``next_chunk`` returns the next chunk or ``None`` at end of stream;
+    iteration is provided on top of it.
+    """
+
+    def next_chunk(self):
+        raise NotImplementedError
+
+    def __iter__(self):
+        while True:
+            chunk = self.next_chunk()
+            if chunk is None:
+                return
+            yield chunk
+
+
+class CollectingChunkSink(ChunkSink):
+    """Reassembles chunks into one contiguous byte string (tests, and the
+    receiver side of a transfer, which must materialize before decode)."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.chunks = 0
+        self.closed = False
+
+    def put(self, chunk) -> None:
+        self._buffer.extend(chunk)
+        self.chunks += 1
+
+    def close(self) -> None:
+        self.closed = True
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class BoundedChunkQueue(ChunkSink, ChunkSource):
+    """A bounded handoff queue: ``put`` blocks while ``max_chunks`` are
+    unconsumed, propagating backpressure from a slow consumer thread back
+    into the producing encoder. Chunks are copied on ``put`` so the
+    producer may recycle its arena immediately."""
+
+    def __init__(self, max_chunks: int = 4) -> None:
+        if max_chunks <= 0:
+            raise FormatError(f"max_chunks must be positive, got {max_chunks}")
+        import threading
+
+        self.max_chunks = max_chunks
+        self._chunks: list = []
+        self._closed = False
+        self._cond = threading.Condition()
+        self.blocked_puts = 0
+
+    def put(self, chunk) -> None:
+        with self._cond:
+            if self._closed:
+                raise FormatError("put() on a closed BoundedChunkQueue")
+            if len(self._chunks) >= self.max_chunks:
+                self.blocked_puts += 1
+                self._cond.wait_for(lambda: len(self._chunks) < self.max_chunks)
+            self._chunks.append(bytes(chunk))
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def next_chunk(self):
+        with self._cond:
+            self._cond.wait_for(lambda: self._chunks or self._closed)
+            if self._chunks:
+                chunk = self._chunks.pop(0)
+                self._cond.notify_all()
+                return chunk
+            return None
+
+
 class StreamWriter:
     """An append-only byte buffer with per-section byte accounting.
 
@@ -175,9 +350,18 @@ class StreamWriter:
 
 
 class StreamReader:
-    """Cursor-based reader over a serialized byte stream."""
+    """Cursor-based reader over a serialized byte stream.
 
-    def __init__(self, data: bytes):
+    Accepts any buffer-protocol object — ``bytes``, ``bytearray``,
+    ``memoryview`` — without copying: non-bytes inputs are wrapped in a
+    :class:`memoryview`, so reads over a reassembled chunk buffer (or a
+    packed-kernel view) slice zero-copy instead of materializing the
+    whole stream again.
+    """
+
+    def __init__(self, data):
+        if not isinstance(data, (bytes, memoryview)):
+            data = memoryview(data)
         self._data = data
         self._pos = 0
 
@@ -240,7 +424,8 @@ class StreamReader:
         length = self.read_u16()
         raw = self._take(length)
         try:
-            return raw.decode("utf-8")
+            # bytes() on a memoryview slice copies only the string bytes.
+            return bytes(raw).decode("utf-8")
         except UnicodeDecodeError as error:
             raise FormatError(f"invalid UTF-8 in stream: {error}") from None
 

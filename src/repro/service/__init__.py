@@ -40,6 +40,7 @@ from repro.service.server import (
     SoftwareLane,
 )
 from repro.service.slo import RequestRecord, SLOReport
+from repro.service.streaming import ResponseStreamer, StreamingConfig
 from repro.service.workload import (
     BurstyWorkload,
     CatalogEntry,
@@ -73,6 +74,8 @@ __all__ = [
     "SoftwareLane",
     "RequestRecord",
     "SLOReport",
+    "ResponseStreamer",
+    "StreamingConfig",
     "BurstyWorkload",
     "CatalogEntry",
     "DEFAULT_SIZE_CLASSES",

@@ -62,6 +62,7 @@ from repro.service.slo import (
     RequestRecord,
     SLOReport,
 )
+from repro.service.streaming import ResponseStreamer, StreamingConfig
 from repro.service.timing_cache import device_batch_cache
 from repro.service.workload import (
     KIND_SERIALIZE,
@@ -95,6 +96,10 @@ class ServiceConfig:
     #: shards under the size-aware policy.
     size_aware_bytes: int = 16 * 1024
     admission: AdmissionConfig = dataclass_field(default_factory=AdmissionConfig)
+    #: When set, large responses leave chunk by chunk with bounded
+    #: in-flight arenas (see :mod:`repro.service.streaming`); ``None``
+    #: keeps the legacy whole-response egress.
+    streaming: Optional[StreamingConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -360,6 +365,11 @@ class SerializationServer:
             max_wait_ns=self.config.batch_wait_ns,
         )
         self.admission = AdmissionController(self.config.admission)
+        self.streamer = (
+            ResponseStreamer(self.config.streaming)
+            if self.config.streaming is not None
+            else None
+        )
         self.degraded_batches = 0
         self.verified_requests = 0
         self._rr_next = 0
@@ -450,8 +460,28 @@ class SerializationServer:
         if batch is not None:
             record.batch_id = batch.batch_id
             record.batch_size = batch.size
+        self._stream_response(request, record, "software")
         if self._should_verify():
             self._verify(request, BACKEND_SOFTWARE)
+
+    def _stream_response(
+        self, request: ServiceRequest, record: RequestRecord, lane: str
+    ) -> None:
+        """Chunked-egress hook: re-times the response when streaming is on.
+
+        The response payload is what the client receives back — the
+        produced stream for a serialize, the rebuilt graph for a
+        deserialize. Admission slots still free at the execute finish
+        (egress is asynchronous to the shard), so only the record's
+        client-visible timing changes.
+        """
+        if self.streamer is None:
+            return
+        if request.kind == KIND_SERIALIZE:
+            response_bytes = request.entry.stream_bytes
+        else:
+            response_bytes = request.entry.graph_bytes
+        self.streamer.stream_response(record, response_bytes, lane)
 
     def _dispatch(self, batch: Batch, now_ns: float) -> List[Tuple[float, int]]:
         """Send one closed batch to a shard (or degrade it); returns
@@ -531,6 +561,7 @@ class SerializationServer:
             record.batch_id = batch.batch_id
             record.batch_size = batch.size
             record.node = self.node_id
+            self._stream_response(request, record, f"shard{shard.shard_id}")
             completions.append((finish, request.request_id))
             if self.config.engine != "device" and self._should_verify():
                 self._verify(request, BACKEND_CEREAL)
@@ -602,6 +633,18 @@ class SerializationServer:
                 request_id=record.request_id,
                 backend=record.backend,
             )
+            if record.streamed and record.chunk_timeline:
+                for seq, start_ns, done_ns in record.chunk_timeline:
+                    tracer.record_span(
+                        "response.chunk",
+                        start_ns,
+                        done_ns,
+                        category="chunk",
+                        track=self._track("requests"),
+                        parent=parent,
+                        request_id=record.request_id,
+                        chunk=seq,
+                    )
 
     # -- incremental event API (cluster driving) ------------------------------------------
 
@@ -760,6 +803,11 @@ class SerializationServer:
                 "layout_cache": layout_cache_stats(),
                 "buffer_pool": pool_stats(),
                 "secure_decode": decode_stats(),
+                **(
+                    {"streaming": self.streamer.stats()}
+                    if self.streamer is not None
+                    else {}
+                ),
             },
         )
         return report

@@ -58,10 +58,27 @@ class RequestRecord:
     #: after a node loss. Latency always spans arrival to *final* finish,
     #: so retries are inside the SLO, never hidden by it.
     retries: int = 0
+    #: Streamed-response egress: when the response left chunk by chunk,
+    #: ``first_byte_ns`` is the wire-done time of chunk 0 (the client's
+    #: time-to-first-byte) and ``finish_ns`` extends to the last chunk.
+    streamed: bool = False
+    chunks: int = 0
+    first_byte_ns: float = 0.0
+    #: Per chunk ``(seq, wire_start_ns, wire_done_ns)``; feeds the
+    #: ``response.chunk`` spans nested under the request span.
+    chunk_timeline: Optional[List] = None
 
     @property
     def completed(self) -> bool:
         return self.outcome not in (OUTCOME_SHED, OUTCOME_REJECTED)
+
+    @property
+    def ttfb_ns(self) -> float:
+        """Arrival to first response byte (falls back to full latency
+        when the response was not streamed)."""
+        if self.streamed:
+            return self.first_byte_ns - self.arrival_ns
+        return self.latency_ns
 
     @property
     def latency_ns(self) -> float:
@@ -269,6 +286,20 @@ class SLOReport:
             entry["mean"] = self.mean_latency_ns(kind)
             entry["max"] = self.max_latency_ns(kind)
             summary["latency_ns"][kind] = entry
+        streamed = [r for r in self.records if r.streamed and r.completed]
+        if streamed:
+            ttfbs = sorted(r.ttfb_ns for r in streamed)
+            summary["streaming"] = {
+                "streamed_requests": len(streamed),
+                "chunks": sum(r.chunks for r in streamed),
+                "ttfb_ns": {
+                    "p50": exact_quantile(ttfbs, 50.0),
+                    "p95": exact_quantile(ttfbs, 95.0),
+                    "p99": exact_quantile(ttfbs, 99.0),
+                    "mean": sum(ttfbs) / len(ttfbs),
+                    "max": ttfbs[-1],
+                },
+            }
         tenants = sorted({r.tenant for r in self.records if r.tenant})
         if tenants:
             summary["tenants"] = {}
@@ -329,6 +360,15 @@ class SLOReport:
             f"mean batch size {self.mean_batch_size:.2f}, peak queue "
             f"{self.peak_outstanding}, verified {self.verified_requests}"
         )
+        streamed = [r for r in self.records if r.streamed and r.completed]
+        if streamed:
+            ttfbs = sorted(r.ttfb_ns for r in streamed)
+            table.add_note(
+                f"streaming: {len(streamed)} responses in "
+                f"{sum(r.chunks for r in streamed)} chunks, TTFB p50 "
+                f"{exact_quantile(ttfbs, 50.0) / 1e3:.2f} us / p99 "
+                f"{exact_quantile(ttfbs, 99.0) / 1e3:.2f} us"
+            )
         if self.runtime_caches is not None:
             plan = self.runtime_caches.get("plan_cache", {})
             codegen = self.runtime_caches.get("codegen_cache", {})

@@ -18,7 +18,12 @@ from repro.spark.backend import (
     SoftwareBackend,
 )
 from repro.spark.engine import MiniSparkContext, PartitionedDataset
-from repro.spark.transfer import ResilientTransfer, RetryPolicy
+from repro.spark.transfer import (
+    ChunkingConfig,
+    ChunkTransferStats,
+    ResilientTransfer,
+    RetryPolicy,
+)
 
 __all__ = [
     "TimeBreakdown",
@@ -30,4 +35,6 @@ __all__ = [
     "PartitionedDataset",
     "ResilientTransfer",
     "RetryPolicy",
+    "ChunkingConfig",
+    "ChunkTransferStats",
 ]

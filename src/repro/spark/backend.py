@@ -87,6 +87,40 @@ class SoftwareBackend(SDBackend):
         )
         return result.stream, op
 
+    def serialize_chunked(
+        self, root: HeapObject, site: str, chunk_bytes: int, pool=None
+    ):
+        """Serialize through the resumable chunked encoder.
+
+        Returns ``(stream, op, chunks)``; ``chunks`` are the payload
+        slices in emission order, ready for
+        :meth:`~repro.spark.transfer.ResilientTransfer.deliver_chunked`.
+        The operation's modelled time is identical to :meth:`serialize`
+        (same work profile, same trace) — falling back to the whole-stream
+        path (``chunks=None``) when the serializer has no chunked walk.
+        """
+        from repro.common.errors import FormatError
+
+        try:
+            result, run, chunks = self.platform.run_serialize_chunked(
+                self.serializer, root, chunk_bytes, pool=pool
+            )
+        except FormatError:
+            stream, op = self.serialize(root, site)
+            return stream, op, None
+        time_ns = run.timing.time_ns + self._framework_ns(result.stream.size_bytes)
+        op = SDOperation(
+            kind="serialize",
+            site=site,
+            time_ns=time_ns,
+            stream_bytes=result.stream.size_bytes,
+            graph_bytes=result.stream.graph_bytes,
+            objects=result.stream.object_count,
+            dram_bytes=run.timing.dram_bytes,
+            kernel_time_ns=run.timing.time_ns,
+        )
+        return result.stream, op, chunks
+
     def deserialize(self, stream: SerializedStream, heap: Heap, site: str):
         if stream.is_framed:
             stream = stream.unframed()  # verify checksums before decoding

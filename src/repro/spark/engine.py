@@ -37,7 +37,12 @@ from repro.jvm.klass import FieldKind, KlassRegistry
 from repro.obs.trace import Tracer, get_tracer
 from repro.spark.backend import SDBackend
 from repro.spark.metrics import TimeBreakdown
-from repro.spark.transfer import ResilientTransfer, RetryPolicy
+from repro.spark.transfer import (
+    ChunkingConfig,
+    ChunkTransferStats,
+    ResilientTransfer,
+    RetryPolicy,
+)
 
 _COMPUTE_IPC = 2.5  # user numeric code pipelines better than S/D code
 _CLOCK_GHZ = 3.6
@@ -59,6 +64,7 @@ class MiniSparkContext:
         frame_streams: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         tracer: Optional[Tracer] = None,
+        chunking: Optional[ChunkingConfig] = None,
     ):
         self.backend = backend
         self.registry = registry if registry is not None else KlassRegistry()
@@ -68,6 +74,12 @@ class MiniSparkContext:
         self._last_alloc_mark = 0
         self.injector = injector
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.chunking = chunking
+        self.chunk_stats: List[ChunkTransferStats] = []
+        # Payload chunks + encode time per pending stream, keyed by id();
+        # every chunked-mode stream is stashed at creation and popped at
+        # its (single) delivery, so ids cannot be confused across streams.
+        self._pending_chunks: Dict[int, tuple] = {}
         self.transfer = ResilientTransfer(
             self.breakdown,
             injector=injector,
@@ -133,10 +145,41 @@ class MiniSparkContext:
         self, records: Sequence[HeapObject], site: str
     ) -> SerializedStream:
         root = self._wrap_records(records, self.executor_heap)
-        stream, op = self.backend.serialize(root, site)
+        if self.chunking is not None and hasattr(
+            self.backend, "serialize_chunked"
+        ):
+            stream, op, chunks = self.backend.serialize_chunked(
+                root, site, self.chunking.chunk_bytes
+            )
+            if site != "cache":  # cached streams are never delivered
+                self._pending_chunks[id(stream)] = (chunks, op.time_ns)
+        else:
+            stream, op = self.backend.serialize(root, site)
+            if self.chunking is not None and site != "cache":
+                # Backend has no cursor path (e.g. the accelerator): the
+                # delivery still streams, splitting the finished bytes.
+                self._pending_chunks[id(stream)] = (None, op.time_ns)
         self.breakdown.add_operation(op)
         self._account_gc()
         return stream
+
+    def deliver_stream(
+        self, stream: SerializedStream, site: str
+    ) -> SerializedStream:
+        """Route a bucket through chunked or whole-stream delivery."""
+        pending = self._pending_chunks.pop(id(stream), None)
+        if self.chunking is None or pending is None:
+            return self.transfer.deliver(stream, site)
+        chunks, encode_ns = pending
+        delivered, stats = self.transfer.deliver_chunked(
+            stream,
+            site,
+            chunks=chunks,
+            encode_ns=encode_ns,
+            config=self.chunking,
+        )
+        self.chunk_stats.append(stats)
+        return delivered
 
     def deserialize_bucket(
         self, stream: SerializedStream, site: str, heap: Optional[Heap] = None
@@ -173,7 +216,16 @@ class MiniSparkContext:
             self.breakdown.add_operation(op)
             replicas = []
             for _ in range(num_partitions):
-                delivered = self.transfer.deliver(stream, "broadcast")
+                if self.chunking is not None:
+                    delivered, stats = self.transfer.deliver_chunked(
+                        stream,
+                        "broadcast",
+                        encode_ns=op.time_ns,
+                        config=self.chunking,
+                    )
+                    self.chunk_stats.append(stats)
+                else:
+                    delivered = self.transfer.deliver(stream, "broadcast")
                 replica, read_op = self.backend.deserialize(
                     delivered, self.executor_heap, "broadcast"
                 )
@@ -311,7 +363,7 @@ class PartitionedDataset:
                 for target in range(num_partitions):
                     merged: List[HeapObject] = []
                     for stream in buckets[target]:
-                        delivered = self.context.transfer.deliver(
+                        delivered = self.context.deliver_stream(
                             stream, "shuffle"
                         )
                         merged.extend(
@@ -389,7 +441,7 @@ class PartitionedDataset:
                 if not partition:
                     continue
                 stream = self.context.serialize_bucket(partition, site="collect")
-                delivered = self.context.transfer.deliver(stream, "collect")
+                delivered = self.context.deliver_stream(stream, "collect")
                 results.extend(
                     self.context.deserialize_bucket(
                         delivered, site="collect", heap=self.context.driver_heap

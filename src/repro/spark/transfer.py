@@ -14,10 +14,10 @@ so fault-free runs reproduce the seed model's times bit-for-bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
-from repro.common.errors import CorruptionError, TransientError
+from repro.common.errors import ConfigError, CorruptionError, TransientError
 from repro.faults.injector import (
     FAULT_CORRUPT,
     FAULT_DROP,
@@ -51,6 +51,69 @@ class RetryPolicy:
             self.max_backoff_ns,
         )
         return nominal * (1.0 + self.jitter * (2.0 * jitter_draw - 1.0))
+
+
+@dataclass(frozen=True)
+class ChunkingConfig:
+    """How a bucket is cut up for pipelined (streamed) delivery.
+
+    ``max_inflight_chunks`` is the arena budget: chunk ``k`` cannot start
+    encoding until chunk ``k - max_inflight_chunks`` has cleared the wire
+    and returned its arena — the transfer-side expression of the bounded
+    pool's backpressure.
+    """
+
+    chunk_bytes: int = 64 * 1024
+    max_inflight_chunks: int = 4
+    trace_chunks: bool = True
+
+    def __post_init__(self):
+        if self.chunk_bytes <= 0:
+            raise ConfigError(
+                f"chunk_bytes must be positive, got {self.chunk_bytes}"
+            )
+        if self.max_inflight_chunks < 1:
+            raise ConfigError(
+                f"max_inflight_chunks must be >= 1, "
+                f"got {self.max_inflight_chunks}"
+            )
+
+
+@dataclass
+class ChunkTransferStats:
+    """Timeline of one chunked delivery (model bookkeeping, not charged).
+
+    ``first_byte_ns`` / ``pipelined_ns`` come from the overlap model:
+    chunk ``k`` finishes encoding at ``encode_ns * cum_bytes_k / total``
+    and crosses the wire as soon as the link and an arena are free. The
+    ``whole_*`` twins are the same payload sent the legacy way — encode
+    everything, then ship — so ``ttfb_speedup`` is the headline win.
+    """
+
+    site: str
+    chunks: int = 0
+    payload_bytes: int = 0
+    framed_bytes: int = 0
+    retries: int = 0
+    retried_chunks: int = 0
+    first_byte_ns: float = 0.0
+    pipelined_ns: float = 0.0
+    whole_first_byte_ns: float = 0.0
+    whole_ns: float = 0.0
+    #: Per chunk: (seq, encode-ready ns, wire-done ns), model-relative.
+    chunk_timeline: List[Tuple[int, float, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ttfb_speedup(self) -> float:
+        if self.first_byte_ns <= 0:
+            return 0.0
+        return self.whole_first_byte_ns / self.first_byte_ns
+
+    @property
+    def overlap_saved_ns(self) -> float:
+        return self.whole_ns - self.pipelined_ns
 
 
 class ResilientTransfer:
@@ -163,3 +226,186 @@ class ResilientTransfer:
             return received.unframed()
         except CorruptionError:
             return None
+
+    # -- chunked (pipelined) delivery --------------------------------------------------
+
+    def _attempt_chunk(
+        self, framed: bytes, site: str
+    ) -> Tuple[Optional[bytes], Optional[str]]:
+        """One wire crossing of a single framed chunk."""
+        if self.injector is None:
+            return framed, None
+        fault = self.injector.transfer_fault(site)
+        if fault is None:
+            return framed, None
+        self.injector.report.record_injected("transfer")
+        if fault == FAULT_DROP:
+            return None, fault
+        if fault == FAULT_CORRUPT:
+            return self.injector.corrupt_bytes(framed, site), fault
+        return framed, fault  # latency spike: intact but late
+
+    def deliver_chunked(
+        self,
+        stream: SerializedStream,
+        site: str,
+        chunks: Optional[List[bytes]] = None,
+        encode_ns: float = 0.0,
+        config: Optional[ChunkingConfig] = None,
+        parent_span=None,
+    ) -> Tuple[SerializedStream, ChunkTransferStats]:
+        """Ship ``stream`` as a sequence of CRC-framed chunks.
+
+        ``chunks`` are the unframed payload slices (normally straight from
+        a drained :class:`~repro.formats.plans.EncodeCursor`); when ``None``
+        the stream's bytes are split at ``config.chunk_bytes`` — identical
+        on the wire, since chunk concatenation is byte-identical to the
+        single-shot encode. Every chunk is individually framed, injected,
+        and CRC-verified on arrival, so a damaged chunk is re-fetched
+        *alone*: the retry charge is one chunk's backoff + wire time, not
+        the whole bucket's. Reassembly runs through
+        :class:`~repro.formats.chunked.ChunkAssembler` (strict sequence
+        order, incremental stream-byte budget).
+
+        ``encode_ns`` is the bucket's modelled serialize time; it drives
+        the overlap model in the returned :class:`ChunkTransferStats`.
+        Like :meth:`deliver`, only recovery costs touch the ledger — the
+        pipelined timeline is reported, not double-charged.
+        """
+        from repro.formats.chunked import ChunkAssembler
+        from repro.formats.streams import CHUNK_HEADER_BYTES, frame_chunk
+
+        config = config if config is not None else ChunkingConfig()
+        if chunks is None:
+            data = stream.data
+            step = config.chunk_bytes
+            chunks = [
+                bytes(data[offset : offset + step])
+                for offset in range(0, len(data), step)
+            ] or [b""]
+
+        stats = ChunkTransferStats(site=site, chunks=len(chunks))
+        assembler = ChunkAssembler()
+        tracer = get_tracer()
+        base_ns = self.breakdown.total_ns
+        total_payload = sum(len(chunk) for chunk in chunks) or 1
+        wire_done: List[float] = []
+        cum_bytes = 0
+        last_seq = len(chunks) - 1
+
+        for seq, payload in enumerate(chunks):
+            cum_bytes += len(payload)
+            framed = frame_chunk(seq, payload, last=(seq == last_seq))
+            stats.payload_bytes += len(payload)
+            stats.framed_bytes += len(framed)
+            enc_ready = encode_ns * (cum_bytes / total_payload)
+            # Arena backpressure: with N arenas, chunk k waits for chunk
+            # k-N to leave the wire before its arena frees up.
+            gate = (
+                wire_done[seq - config.max_inflight_chunks]
+                if seq >= config.max_inflight_chunks
+                else 0.0
+            )
+            link_free = wire_done[-1] if wire_done else 0.0
+            start_ns = max(enc_ready, link_free, gate)
+            chunk_retry_ns = 0.0
+
+            failures = 0
+            while True:
+                received, fault = self._attempt_chunk(framed, site)
+                if fault == FAULT_LATENCY:
+                    spike = self.injector.policy.latency_spike_ns
+                    self.breakdown.retry_ns += spike
+                    chunk_retry_ns += spike
+                    self.injector.report.record_detected("transfer")
+                    self.injector.report.record_recovered("transfer")
+                verified = False
+                if received is not None:
+                    try:
+                        assembler.push(received)
+                        verified = True
+                    except CorruptionError:
+                        verified = False
+                if verified:
+                    if failures:
+                        stats.retried_chunks += 1
+                        if self.injector is not None:
+                            self.injector.report.record_recovered(
+                                "transfer", failures
+                            )
+                    break
+                # Detected failure: drop, or chunk-CRC mismatch.
+                if self.injector is not None:
+                    self.injector.report.record_detected("transfer")
+                failures += 1
+                stats.retries += 1
+                if failures > self.retry.max_retries:
+                    raise TransientError(
+                        f"{site} chunk {seq} failed {failures} consecutive "
+                        f"times (last fault: {fault}); retries exhausted"
+                    )
+                jitter_draw = (
+                    self.injector.jitter(site)
+                    if self.injector is not None
+                    else 0.5
+                )
+                cost = self.retry.backoff_ns(failures - 1, jitter_draw)
+                cost += len(framed) * self.wire_ns_per_byte
+                self.breakdown.retry_ns += cost
+                chunk_retry_ns += cost
+                tracer.instant(
+                    "transfer.retry",
+                    ts_ns=self.breakdown.total_ns,
+                    category="retry",
+                    track="spark",
+                    site=site,
+                    attempt=failures,
+                    fault=fault,
+                    chunk=seq,
+                )
+
+            done_ns = (
+                start_ns
+                + len(framed) * self.wire_ns_per_byte
+                + chunk_retry_ns
+            )
+            wire_done.append(done_ns)
+            stats.chunk_timeline.append((seq, enc_ready, done_ns))
+            if config.trace_chunks:
+                tracer.record_span(
+                    "transfer.chunk",
+                    base_ns + start_ns,
+                    base_ns + done_ns,
+                    category="transfer",
+                    track="spark",
+                    parent=parent_span,
+                    site=site,
+                    chunk=seq,
+                    bytes=len(payload),
+                )
+
+        stats.first_byte_ns = wire_done[0]
+        stats.pipelined_ns = wire_done[-1]
+        first_wire = (
+            (len(chunks[0]) + CHUNK_HEADER_BYTES) * self.wire_ns_per_byte
+        )
+        stats.whole_first_byte_ns = encode_ns + first_wire
+        stats.whole_ns = encode_ns + stats.framed_bytes * self.wire_ns_per_byte
+
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        registry.counter("transfer.chunks", site=site).inc(stats.chunks)
+        if stats.retries:
+            registry.counter("transfer.chunk_retries", site=site).inc(
+                stats.retries
+            )
+
+        delivered = SerializedStream(
+            format_name=stream.format_name,
+            data=assembler.payload(),
+            sections=dict(stream.sections),
+            object_count=stream.object_count,
+            graph_bytes=stream.graph_bytes,
+        )
+        return delivered, stats
