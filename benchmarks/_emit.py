@@ -57,6 +57,12 @@ def runtime_snapshot() -> Dict:
     plan = plan_cache_stats()
     codegen = codegen_cache_stats()
     layout = layout_cache.stats()
+    registry_snapshot = get_registry().snapshot()
+    memstore = {
+        key: value
+        for key, value in registry_snapshot.items()
+        if key.startswith("memstore.")
+    }
     return {
         "plan_cache": plan,
         "plan_cache_hit_rate": plan["hit_rate"],
@@ -70,7 +76,8 @@ def runtime_snapshot() -> Dict:
             "high_water_mark_bytes"
         ],
         "secure_decode": decode_stats(),
-        "metrics": get_registry().snapshot(),
+        "memstore": memstore,
+        "metrics": registry_snapshot,
     }
 
 

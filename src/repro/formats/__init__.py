@@ -49,8 +49,10 @@ from repro.formats.secure import (
     secure_deserialize_chunks,
 )
 from repro.formats.streams import (
+    BoundedChunkQueue,
     ChunkSink,
     ChunkSource,
+    CollectingChunkSink,
     frame_chunk,
     unframe_chunk,
 )
@@ -76,8 +78,10 @@ __all__ = [
     "secure_deserialize",
     "secure_deserialize_chunks",
     "ChunkAssembler",
+    "BoundedChunkQueue",
     "ChunkSink",
     "ChunkSource",
+    "CollectingChunkSink",
     "ChunkedEncodeSummary",
     "ChunkingBuffer",
     "EncodeCursor",

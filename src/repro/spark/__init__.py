@@ -17,7 +17,7 @@ from repro.spark.backend import (
     SDBackend,
     SoftwareBackend,
 )
-from repro.spark.engine import MiniSparkContext, PartitionedDataset
+from repro.spark.engine import CachedDataset, MiniSparkContext, PartitionedDataset
 from repro.spark.transfer import (
     ChunkingConfig,
     ChunkTransferStats,
@@ -31,6 +31,7 @@ __all__ = [
     "SDBackend",
     "SoftwareBackend",
     "CerealBackend",
+    "CachedDataset",
     "MiniSparkContext",
     "PartitionedDataset",
     "ResilientTransfer",

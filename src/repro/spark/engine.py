@@ -11,16 +11,21 @@ need, with faithful S/D call sites (paper Section III lists them):
   partition) bucket is wrapped in a reference array and pushed through the
   configured S/D backend, once on the map side (serialize) and once on the
   reduce side (deserialize);
-* ``cache_serialized`` / ``CachedDataset.read`` — Spark's
-  ``MEMORY_ONLY_SER`` storage level: serialize once, pay a deserialization
-  on *every* read (this is what makes iterative ML apps S/D-bound, SVM
-  most of all — paper Figure 2);
+* ``cache`` / ``cache_serialized`` / ``CachedDataset.read`` — Spark's
+  cache storage levels, owned by the tiered executor memory manager
+  (:mod:`repro.memstore`): deserialized-on-heap reads are free but pin
+  graph bytes against the heap budget, serialized-off-heap pays a
+  deserialization on *every* read (this is what makes iterative ML apps
+  S/D-bound, SVM most of all — paper Figure 2), and spilled entries add
+  disk I/O on top;
 * ``collect`` — driver-side aggregation (serialize at executors,
   deserialize at the driver).
 
-GC time is modelled as a copying-collector cost proportional to bytes
-allocated; I/O as disk-bandwidth transfers. Compute uses a higher IPC than
-S/D code: user numeric kernels pipeline well.
+GC time is modelled as a copying-collector cost per allocated byte whose
+rate rises with heap occupancy (:class:`~repro.memstore.model.GcCostModel`
+— flat and seed-identical while nothing is pinned on-heap); I/O as
+disk-bandwidth transfers. Compute uses a higher IPC than S/D code: user
+numeric kernels pipeline well.
 """
 
 from __future__ import annotations
@@ -34,6 +39,12 @@ from repro.faults.injector import FaultInjector
 from repro.formats.base import SerializedStream
 from repro.jvm.heap import Heap, HeapObject
 from repro.jvm.klass import FieldKind, KlassRegistry
+from repro.memstore import (
+    TIER_SERIALIZED,
+    CacheEntry,
+    ExecutorMemoryManager,
+    MemstoreConfig,
+)
 from repro.obs.trace import Tracer, get_tracer
 from repro.spark.backend import SDBackend
 from repro.spark.metrics import TimeBreakdown
@@ -47,9 +58,6 @@ from repro.spark.transfer import (
 _COMPUTE_IPC = 2.5  # user numeric code pipelines better than S/D code
 _CLOCK_GHZ = 3.6
 _DISK_BANDWIDTH = 500e6  # B/s HDFS-style sequential I/O
-_GC_NS_PER_BYTE = 8.0  # copying-collector cost per allocated byte at this
-# scale: each scaled allocation stands in for the full-scale app's nursery
-# churn (calibrated against Figure 2's GC share)
 
 
 class MiniSparkContext:
@@ -65,6 +73,7 @@ class MiniSparkContext:
         retry_policy: Optional[RetryPolicy] = None,
         tracer: Optional[Tracer] = None,
         chunking: Optional[ChunkingConfig] = None,
+        memstore_config: Optional[MemstoreConfig] = None,
     ):
         self.backend = backend
         self.registry = registry if registry is not None else KlassRegistry()
@@ -85,6 +94,22 @@ class MiniSparkContext:
             injector=injector,
             retry=retry_policy,
             frame_streams=frame_streams,
+        )
+        # The GC budget defaults to the modelled executor heap; an explicit
+        # MemstoreConfig decouples the two (e.g. for budget sweeps).
+        self.memstore_config = (
+            memstore_config
+            if memstore_config is not None
+            else MemstoreConfig(budget_bytes=heap_bytes)
+        )
+        self.gc_model = self.memstore_config.build_gc_model()
+        self.memstore = ExecutorMemoryManager(
+            self.memstore_config,
+            self.breakdown,
+            gc_model=self.gc_model,
+            tracer=self.tracer,
+            injector=injector,
+            transfer=self.transfer,
         )
 
     # -- tracing ---------------------------------------------------------------------
@@ -118,12 +143,28 @@ class MiniSparkContext:
         self.breakdown.io_ns += nbytes / _DISK_BANDWIDTH * 1e9
 
     def _account_gc(self) -> None:
-        """Charge GC for heap growth since the last mark."""
+        """Charge GC for heap growth since the last mark.
+
+        The rate is the occupancy-driven curve: bytes pinned on-heap by
+        deserialized-tier cache entries raise the cost of *all* other
+        allocation. The mark is monotone — it only ever moves forward, so
+        no byte of growth is charged twice.
+        """
         used = self.executor_heap.used_bytes + self.driver_heap.used_bytes
         grown = used - self._last_alloc_mark
         if grown > 0:
-            self.breakdown.gc_ns += grown * _GC_NS_PER_BYTE
-        self._last_alloc_mark = used
+            self.breakdown.gc_ns += self.gc_model.charge_ns(
+                grown, self.memstore.on_heap_bytes
+            )
+            self._last_alloc_mark = used
+
+    def _sync_gc_mark(self) -> None:
+        """Advance the GC mark past *functional* allocations without
+        charging — used when the model charges (or deliberately exempts)
+        the same bytes through the memstore's tier accounting instead."""
+        used = self.executor_heap.used_bytes + self.driver_heap.used_bytes
+        if used > self._last_alloc_mark:
+            self._last_alloc_mark = used
 
     # -- S/D plumbing -------------------------------------------------------------------
 
@@ -189,7 +230,9 @@ class MiniSparkContext:
             # Destination heap exhausted: run an emergency collection big
             # enough to evacuate the incoming graph, then proceed.
             pause_bytes = max(stream.graph_bytes, stream.size_bytes)
-            self.breakdown.gc_ns += pause_bytes * _GC_NS_PER_BYTE
+            self.breakdown.gc_ns += pause_bytes * self.gc_model.ns_per_byte(
+                self.memstore.on_heap_bytes
+            )
             self.injector.report.record_injected("heap")
             self.injector.report.record_detected("heap")
             self.injector.report.record_recovered("heap")
@@ -248,40 +291,28 @@ class MiniSparkContext:
 
 @dataclass
 class CachedDataset:
-    """Spark MEMORY_ONLY_SER cache: streams plus a memoized read cost.
+    """A cached RDD: one memstore entry per partition.
 
-    The functional deserialization runs once; each subsequent ``read()``
-    charges the same modelled time/GC again (the JVM would rebuild the
-    objects every time) but reuses the materialized records, keeping the
-    Python run time linear.
+    The functional serialize/deserialize runs once at cache time; every
+    ``read()`` goes through the memory manager, which charges whatever the
+    entry's *current* tier costs (free for deserialized-on-heap, a fresh
+    deserialize plus rebuild GC for serialized, disk I/O on top for
+    spilled) while reusing the materialized records, keeping the Python
+    run time linear. Tiers can shift between reads as later admissions
+    evict under pressure.
     """
 
     context: MiniSparkContext
-    streams: List[SerializedStream]
-    _materialized: List[List[HeapObject]]
-    _read_ops: List  # SDOperation templates from the first read
+    entries: List[CacheEntry]
+
+    @property
+    def streams(self) -> List[SerializedStream]:
+        """The compact streams backing each partition (any tier)."""
+        return [entry.stream for entry in self.entries]
 
     def read(self) -> "PartitionedDataset":
-        from repro.spark.metrics import SDOperation
-
-        for template in self._read_ops:
-            self.context.breakdown.add_operation(
-                SDOperation(
-                    kind=template.kind,
-                    site=template.site,
-                    time_ns=template.time_ns,
-                    stream_bytes=template.stream_bytes,
-                    graph_bytes=template.graph_bytes,
-                    objects=template.objects,
-                    dram_bytes=template.dram_bytes,
-                    kernel_time_ns=template.kernel_time_ns,
-                    fallback=template.fallback,
-                )
-            )
-            # The rebuilt objects are fresh allocations the collector must
-            # eventually evacuate.
-            self.context.breakdown.gc_ns += template.graph_bytes * _GC_NS_PER_BYTE
-        return PartitionedDataset(self.context, [list(p) for p in self._materialized])
+        partitions = self.context.memstore.read_cached(self.entries)
+        return PartitionedDataset(self.context, partitions)
 
 
 class PartitionedDataset:
@@ -405,31 +436,47 @@ class PartitionedDataset:
 
     # -- caching -------------------------------------------------------------------------------
 
-    def cache_serialized(self) -> CachedDataset:
-        """Serialize every partition (MEMORY_ONLY_SER) and pre-pay one read."""
-        streams = []
-        materialized = []
-        read_ops = []
-        with self.context.stage(
-            "spark.cache_serialized", partitions=self.num_partitions
+    def cache(self, tier: str = TIER_SERIALIZED) -> CachedDataset:
+        """Cache every partition in the executor memory manager.
+
+        The serialize and deserialize both run once, functionally, to
+        capture the entry's cost templates and materialized records; what
+        the *model* charges is decided by the manager from the tier each
+        partition lands in (``deserialized`` / ``serialized`` / ``spilled``
+        / ``auto`` — see :mod:`repro.memstore.tiers`). Admissions may evict
+        earlier entries: caching is itself a source of memory pressure.
+        """
+        context = self.context
+        entries = []
+        with context.stage(
+            "spark.cache", partitions=self.num_partitions, tier=tier
         ):
-            for partition in self.partitions:
-                stream = self.context.serialize_bucket(partition, site="cache")
-                streams.append(stream)
-            for stream in streams:
-                root, op = self.context.backend.deserialize(
-                    stream, self.context.executor_heap, "cache"
+            for index, partition in enumerate(self.partitions):
+                root = context._wrap_records(partition, context.executor_heap)
+                stream, serialize_op = context.backend.serialize(root, "cache")
+                read_root, read_op = context.backend.deserialize(
+                    stream, context.executor_heap, "cache"
                 )
-                read_ops.append(op)
-                materialized.append(self.context._unwrap_records(root))
-            self.context._account_gc()
-        cached = CachedDataset(
-            context=self.context,
-            streams=streams,
-            _materialized=materialized,
-            _read_ops=read_ops,
-        )
-        return cached
+                records = context._unwrap_records(read_root)
+                # The functional round-trip's heap growth is tier
+                # bookkeeping, not nursery churn: the manager charges (or
+                # deliberately exempts) those bytes per tier semantics.
+                context._sync_gc_mark()
+                entries.append(
+                    context.memstore.admit(
+                        index,
+                        stream,
+                        records,
+                        serialize_op,
+                        read_op,
+                        tier=tier,
+                    )
+                )
+        return CachedDataset(context=context, entries=entries)
+
+    def cache_serialized(self) -> CachedDataset:
+        """Spark's MEMORY_ONLY_SER: the serialized-off-heap tier."""
+        return self.cache(tier=TIER_SERIALIZED)
 
     # -- actions ----------------------------------------------------------------------------------
 

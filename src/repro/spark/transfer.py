@@ -33,6 +33,10 @@ from repro.spark.metrics import TimeBreakdown
 #: framework stream path.
 _WIRE_NS_PER_BYTE = 0.8
 
+#: Re-fetch rate for the ``spill`` site: a spilled cache block is re-read
+#: from local disk (500 MB/s sequential), not across the network.
+_SPILL_REFETCH_NS_PER_BYTE = 2.0
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -133,6 +137,13 @@ class ResilientTransfer:
         self.frame_streams = frame_streams
         self.wire_ns_per_byte = wire_ns_per_byte
 
+    def _refetch_rate(self, site: str) -> float:
+        """ns/B charged per re-fetch: local-disk re-read for spill blocks,
+        the network wire rate everywhere else."""
+        if site == "spill":
+            return _SPILL_REFETCH_NS_PER_BYTE
+        return self.wire_ns_per_byte
+
     # -- one attempt -------------------------------------------------------------------
 
     def _attempt(
@@ -199,7 +210,7 @@ class ResilientTransfer:
             self.breakdown.retry_ns += self.retry.backoff_ns(
                 failures - 1, jitter_draw
             )
-            self.breakdown.retry_ns += wire.size_bytes * self.wire_ns_per_byte
+            self.breakdown.retry_ns += wire.size_bytes * self._refetch_rate(site)
             # Mark the re-fetch on the trace at the ledger time that now
             # includes the backoff + wire cost just charged.
             get_tracer().instant(
